@@ -1,0 +1,73 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark measures one experiment from DESIGN.md's index (E1-E9 +
+ablations) and registers a human-readable table of *paper claim vs
+measured value* with the session :class:`ExperimentReport`.  The tables
+are printed in pytest's terminal summary (so they land in
+``bench_output.txt``) and also written to ``benchmarks/latest_report.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence, Tuple
+
+import pytest
+
+
+class ExperimentReport:
+    """Collects experiment tables across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.sections: List[Tuple[str, List[str]]] = []
+
+    def add_section(self, title: str, lines: Iterable[str]) -> None:
+        self.sections.append((title, list(lines)))
+
+    def add_table(self, title: str, header: Sequence[str],
+                  rows: Iterable[Sequence[object]],
+                  note: str = "") -> None:
+        rows = [list(map(str, row)) for row in rows]
+        widths = [
+            max(len(str(header[i])), *(len(r[i]) for r in rows)) if rows
+            else len(str(header[i]))
+            for i in range(len(header))
+        ]
+
+        def fmt(cells):
+            return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+        lines = [fmt(header), fmt("-" * w for w in widths)]
+        lines += [fmt(r) for r in rows]
+        if note:
+            lines += ["", note]
+        self.add_section(title, lines)
+
+    def render(self) -> str:
+        out = []
+        for title, lines in self.sections:
+            out.append("")
+            out.append("=" * 78)
+            out.append(title)
+            out.append("=" * 78)
+            out.extend(lines)
+        return "\n".join(out)
+
+
+REPORT = ExperimentReport()
+
+
+@pytest.fixture(scope="session")
+def report() -> ExperimentReport:
+    return REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORT.sections:
+        return
+    text = REPORT.render()
+    terminalreporter.write_line(text)
+    path = os.path.join(os.path.dirname(__file__), "latest_report.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    terminalreporter.write_line(f"\n[experiment tables saved to {path}]")

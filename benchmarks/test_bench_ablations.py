@@ -1,0 +1,134 @@
+"""Ablations — design choices DESIGN.md calls out, measured.
+
+1. Coin bias: Figure 1/2 use fair coins.  How does the install
+   probability affect expected decision cost (and does any bias break
+   safety)?  Theory says 1/2 is near-optimal against the symmetric
+   adversary; extreme biases slow the symmetry-breaking down.
+2. Adversary strength: oblivious vs adaptive schedulers — the paper's
+   bounds hold for the adaptive one, so the gap measures how much the
+   adversary's knowledge actually buys.
+3. The footnote-2 rewrite: Figure 1's heads-branch rewrites the old
+   value "only for ease of analysis" — the skip variant should be
+   strictly cheaper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.adversary import DisagreementAdversary, SplitVoteAdversary
+from repro.sched.simple import ObliviousScheduler, RandomScheduler, RoundRobinScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+def mean_steps(protocol_factory, scheduler_factory, n_runs=600, seed=99,
+               inputs=("a", "b")):
+    runner = ExperimentRunner(
+        protocol_factory=protocol_factory,
+        scheduler_factory=scheduler_factory,
+        inputs_factory=lambda i, rng: inputs,
+        seed=seed,
+    )
+    stats = runner.run_many(n_runs, max_steps=60_000)
+    assert stats.completion_rate == 1.0
+    assert stats.n_consistency_violations == 0
+    return summarize(stats.per_processor_costs()).mean
+
+
+def test_bench_coin_bias(benchmark, report):
+    biases = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+    def sweep():
+        return {
+            p: mean_steps(
+                lambda p=p: ThreeUnboundedProtocol(p_heads=p),
+                lambda rng: SplitVoteAdversary(),
+                inputs=("a", "b", "a"),
+            )
+            for p in biases
+        }
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(p, f"{c:.1f}") for p, c in costs.items()]
+    report.add_table(
+        "Ablation: install-coin bias (three-processor protocol)",
+        header=("P(install new value)", "mean steps/proc"),
+        rows=rows,
+        note=("Safety holds at every bias (asserted per run); the cost "
+              "curve shows the coin is a\nliveness knob only.  Extreme "
+              "biases slow convergence — retaining too often stalls\n"
+              "progress, installing too often lets the adversary keep "
+              "prefs split."),
+    )
+    assert costs[0.5] <= min(costs[0.1], costs[0.9]) * 3
+
+
+def test_bench_adversary_strength(benchmark, report):
+    from repro.sched.lookahead import LookaheadAdversary
+    from repro.sched.optimal import OptimalAdversary, solve_game
+
+    optimal = solve_game(TwoProcessProtocol(), ("a", "b"),
+                         cost_model="total")
+    schedulers = (
+        ("round-robin (fair)", lambda rng: RoundRobinScheduler()),
+        ("random (fair)", lambda rng: RandomScheduler(rng)),
+        ("oblivious bursts", lambda rng: ObliviousScheduler(rng)),
+        ("adaptive disagreement", lambda rng: DisagreementAdversary()),
+        ("adaptive split-vote", lambda rng: SplitVoteAdversary()),
+        ("expectimax lookahead h=4", lambda rng: LookaheadAdversary(4)),
+        ("optimal (value iteration)", lambda rng: OptimalAdversary(optimal)),
+    )
+
+    def sweep():
+        return {
+            label: mean_steps(lambda: TwoProcessProtocol(), f)
+            for label, f in schedulers
+        }
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(label, f"{c:.2f}", "<= 10 OK" if c <= 10 else "EXCEEDED")
+            for label, c in costs.items()]
+    report.add_table(
+        "Ablation: scheduler knowledge vs two-processor cost",
+        header=("scheduler", "mean steps/proc", "vs paper bound"),
+        rows=rows,
+        note=("The paper's 10-step bound is for the *adaptive* "
+              "adversary; every weaker\nscheduler must sit below it too. "
+              " The ladder shows what knowledge buys: the\nhand-written "
+              "heuristics barely beat fair randomness, expectimax "
+              "lookahead\nclimbs to ~8, and the exactly solved "
+              "total-cost game tops out at 16/2 = 8\npooled (the "
+              "per-victim game value is the tight 10 of finding F4)."),
+    )
+    for c in costs.values():
+        assert c <= 10.0
+
+
+def test_bench_footnote2_rewrite(benchmark, report):
+    def sweep():
+        return {
+            "figure-1 verbatim (heads rewrites)": mean_steps(
+                lambda: TwoProcessProtocol(),
+                lambda rng: RandomScheduler(rng), n_runs=1500),
+            "footnote-2 variant (heads skips)": mean_steps(
+                lambda: TwoProcessProtocol(skip_redundant_rewrite=True),
+                lambda rng: RandomScheduler(rng), n_runs=1500),
+        }
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(label, f"{c:.2f}") for label, c in costs.items()]
+    verbatim = costs["figure-1 verbatim (heads rewrites)"]
+    skipped = costs["footnote-2 variant (heads skips)"]
+    report.add_table(
+        "Ablation: the superfluous rewrite (Figure 1, footnote 2)",
+        header=("variant", "mean steps/proc"),
+        rows=rows,
+        note=("Paper: 'this rewriting action is actually superfluous and "
+              "is used only for ease\nof analysis.'  Measured saving: "
+              f"{verbatim - skipped:.2f} steps/processor "
+              f"({100 * (verbatim - skipped) / verbatim:.0f}%)."),
+    )
+    assert skipped <= verbatim

@@ -1,0 +1,102 @@
+"""E8 — fail-stop tolerance: t = n − 1 crashes.
+
+Section 1: "we account to fail/stop type errors of up to all but one
+of the system processors", explicitly contrasted with the
+message-passing model where "no agreement (even randomized) can be
+achieved if more than half of the processors are faulty" [Bracha-Toueg].
+
+The benchmark crashes 0..n−1 processors at adversarial times (right
+after each victim's first step — candidacies written, then silence) and
+verifies the survivors always decide, measuring how the survivors' cost
+scales with the number of crashes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.core.n_process import NProcessProtocol
+from repro.sched.crash import CrashPlan, CrashingScheduler
+from repro.sched.simple import RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+N = 6
+N_RUNS = 150
+
+
+def batch_with_crashes(t: int, seed: int = 717):
+    """Crash the first t processors after one step each."""
+
+    def scheduler_factory(rng):
+        plan = CrashPlan(after_activations={pid: 1 for pid in range(t)})
+        return CrashingScheduler(RandomScheduler(rng), plan)
+
+    runner = ExperimentRunner(
+        protocol_factory=lambda: NProcessProtocol(N),
+        scheduler_factory=scheduler_factory,
+        inputs_factory=lambda i, rng: tuple(
+            rng.choice(["a", "b"]) for _ in range(N)
+        ),
+        seed=seed,
+    )
+    return runner.run_many(N_RUNS, max_steps=400_000)
+
+
+def test_bench_crash_sweep(benchmark, report):
+    stats_by_t = benchmark.pedantic(
+        lambda: {t: batch_with_crashes(t) for t in range(N)},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for t, stats in stats_by_t.items():
+        survivor_costs = []
+        undecided_survivors = 0
+        for run in stats.runs:
+            for pid in range(N):
+                if pid in run.crashed:
+                    continue
+                cost = run.steps_to_decide.get(pid)
+                if cost is None:
+                    undecided_survivors += 1
+                else:
+                    survivor_costs.append(cost)
+        s = summarize(survivor_costs)
+        rows.append((t, N - t, f"{s.mean:.1f}", f"{s.p99:.0f}",
+                     undecided_survivors,
+                     stats.n_consistency_violations))
+        assert undecided_survivors == 0
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+    report.add_table(
+        f"E8: fail-stop sweep, n = {N} (crash after first step)",
+        header=("crashes t", "survivors", "survivor mean steps", "p99",
+                "undecided survivors", "cons.viol"),
+        rows=rows,
+        note=(f"{N_RUNS} runs per t.  Paper: tolerates t = n-1 (vs the "
+              "t < n/2 impossibility in the\nmessage-passing model).  "
+              "Measured: survivors always decide, for every t up to "
+              f"{N - 1};\nwith more crashes the survivors race ahead of "
+              "the frozen registers and finish\n*faster* — crashed "
+              "processors are just very slow ones in this model."),
+    )
+
+
+def test_bench_lone_survivor(benchmark, report):
+    stats = benchmark.pedantic(
+        lambda: batch_with_crashes(N - 1), rounds=1, iterations=1
+    )
+    costs = []
+    for run in stats.runs:
+        for pid in range(N):
+            if pid not in run.crashed:
+                costs.append(run.steps_to_decide[pid])
+    s = summarize(costs)
+    report.add_section(
+        "E8: the lone survivor (t = n-1)",
+        [f"survivor decided in mean {s.mean:.1f} steps "
+         f"(p99 {s.p99:.0f}) over {len(costs)} runs",
+         "wait-freedom means no survivor ever waits on the dead."],
+    )
+    assert s.mean < 20 * N

@@ -1,0 +1,130 @@
+"""E9b — consensus on constructed registers, end to end.
+
+E9 grades the register constructions in isolation; this benchmark
+closes the loop by running the paper's *protocols* on top of them in
+the interval-time world, where logical operations genuinely overlap.
+It measures correctness and the primitive-event cost of each backing —
+the full price of "implementable in existing technology" — and records
+finding F5 (safe bits preserve the two-processor protocol's
+consistency).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.registers.adapter import (
+    atomic_backing,
+    mrsw_atomic_backing,
+    regular_backing,
+    run_on_constructed_registers,
+    safe_backing_for,
+    seqnum_atomic_backing,
+)
+
+
+N_RUNS = 120
+
+
+def sweep(protocol_factory, inputs, backing, n_runs=N_RUNS):
+    consistent = nontrivial = completed = 0
+    events = 0
+    for seed in range(n_runs):
+        r = run_on_constructed_registers(
+            protocol_factory(), inputs, seed=seed, backing=backing,
+        )
+        consistent += r.consistent
+        nontrivial += r.nontrivial
+        completed += r.completed
+        events += r.primitive_events
+    return {
+        "consistent": consistent / n_runs,
+        "nontrivial": nontrivial / n_runs,
+        "completed": completed / n_runs,
+        "events": events / n_runs,
+    }
+
+
+def test_bench_two_process_on_backings(benchmark, report):
+    backings = (
+        ("atomic cell (reference)", atomic_backing),
+        ("seqnum atomic (regular + ts)", seqnum_atomic_backing),
+        ("bare regular cell", regular_backing),
+        ("bare safe cell (!)", safe_backing_for(("a", "b"))),
+    )
+
+    def run_all():
+        return {
+            label: sweep(lambda: TwoProcessProtocol(), ("a", "b"), b)
+            for label, b in backings
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (label, f"{r['consistent']:.2f}", f"{r['completed']:.2f}",
+         f"{r['events']:.0f}")
+        for label, r in results.items()
+    ]
+    report.add_table(
+        "E9b: the two-processor protocol on constructed registers "
+        f"({N_RUNS} interval-world runs each)",
+        header=("register backing", "consistent", "completed",
+                "primitive events/run"),
+        rows=rows,
+        note=("Logical reads and writes genuinely overlap here; the "
+              "serialized kernel's\natomicity assumption is *earned*, "
+              "not assumed.  Finding F5: even the bare safe\ncell — "
+              "garbage under overlap — preserves consistency (the "
+              "frozen-final-register\nargument of Theorem 6 needs no "
+              "atomicity), at the price of extra coin-flip\nrounds.  "
+              "The seqnum construction costs more primitive events per "
+              "run than the\nreference cell: that is the measured price "
+              "of building atomicity from regularity."),
+    )
+    for label, r in results.items():
+        assert r["consistent"] == 1.0, label
+        assert r["completed"] == 1.0, label
+
+
+def test_bench_three_process_on_backings(benchmark, report):
+    cases = (
+        ("srsw layout / seqnum atomic",
+         lambda: ThreeUnboundedProtocol(layout="srsw"),
+         seqnum_atomic_backing),
+        ("mrsw layout / gossip MRSW",
+         lambda: ThreeUnboundedProtocol(),
+         mrsw_atomic_backing),
+        ("mrsw layout / atomic cell",
+         lambda: ThreeUnboundedProtocol(),
+         atomic_backing),
+    )
+
+    def run_all():
+        return {
+            label: sweep(pf, ("a", "b", "a"), b, n_runs=60)
+            for label, pf, b in cases
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (label, f"{r['consistent']:.2f}", f"{r['completed']:.2f}",
+         f"{r['events']:.0f}")
+        for label, r in results.items()
+    ]
+    report.add_table(
+        "E9b: the three-processor protocol on constructed registers "
+        "(60 interval-world runs each)",
+        header=("layout / backing", "consistent", "completed",
+                "primitive events/run"),
+        rows=rows,
+        note=("The srsw layout rides the single-reader seqnum "
+              "construction directly (the\nfull paper's configuration); "
+              "the mrsw layout needs the reader-gossip MRSW\n"
+              "construction, whose n^2 sub-registers dominate the "
+              "event bill."),
+    )
+    for label, r in results.items():
+        assert r["consistent"] == 1.0, label
+        assert r["completed"] == 1.0, label

@@ -1,0 +1,75 @@
+"""E1 — Theorem 4 (Section 3): deterministic coordination is impossible.
+
+The paper's "result" here is qualitative: every deterministic protocol
+admits a safety violation or an infinite non-deciding schedule.  The
+benchmark sweeps the deterministic zoo through the mechanized Lemma 2 /
+Lemma 3 pipeline, times the certificate construction, and reports one
+certificate per protocol — the reproduction of the theorem on concrete
+instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import analyze_deterministic, find_bivalent_initial
+from repro.core.deterministic import zoo
+
+
+def certificates():
+    return [analyze_deterministic(p) for p in zoo()]
+
+
+def test_bench_theorem4_certificates(benchmark, report):
+    reports = benchmark.pedantic(certificates, rounds=3, iterations=1)
+
+    rows = []
+    for r in reports:
+        if r.lasso_cycle is not None:
+            witness = (f"repeat {list(r.lasso_cycle)} after "
+                       f"{len(r.lasso_prefix)}-step prefix"
+                       + (" (fair)" if r.fair else ""))
+        else:
+            witness = r.consistency_violation or r.nontriviality_violation
+        rows.append((r.protocol_name.replace("Deterministic", "det"),
+                     r.inputs, r.verdict, witness, r.states_explored))
+
+    report.add_table(
+        "E1 (Theorem 4): every deterministic protocol fails",
+        header=("protocol", "inputs", "verdict", "witness", "configs"),
+        rows=rows,
+        note=("Paper claim: for every consistent nontrivial deterministic "
+              "protocol there is an\ninfinite schedule on which no "
+              "processor terminates.  Measured: each zoo member\nyields an "
+              "explicit certificate; none satisfies all three properties."),
+    )
+    assert len(reports) == len(zoo())
+    for r in reports:
+        assert r.verdict in (
+            "violates consistency", "violates nontriviality",
+            "admits an infinite non-deciding schedule",
+        )
+
+
+def test_bench_lemma2_bivalent_initial(benchmark, report):
+    def find_all():
+        return [(p.name, find_bivalent_initial(p)) for p in zoo()]
+
+    found = benchmark.pedantic(find_all, rounds=3, iterations=1)
+    rows = []
+    for name, hit in found:
+        if hit is None:
+            rows.append((name, "none (fails safety instead)", "-"))
+        else:
+            inputs, graph, _ = hit
+            rows.append((name, inputs, graph.n_states))
+    report.add_table(
+        "E1 (Lemma 2): bivalent initial configurations",
+        header=("protocol", "bivalent inputs", "reachable configs"),
+        rows=rows,
+        note=("Paper claim: every coordination protocol has a bivalent "
+              "initial configuration\n(the proof uses the mixed-input "
+              "assignment I_ab).  Measured: found for every\nconsistent "
+              "zoo member, at mixed inputs as the proof predicts."),
+    )
+    assert any(hit is not None for _n, hit in found)

@@ -1,0 +1,96 @@
+"""E4 — the Section 5 counterexample: the naive protocol vs the real one.
+
+The paper's contrast, reproduced quantitatively: under the adaptive
+strategy that freezes a manufactured disagreement and starves the third
+processor,
+
+* the naive "flip until unanimous" protocol never lets the victim
+  decide, no matter the budget (its termination probability is 0, not
+  merely slow), while
+* the Figure 2 protocol's victim out-races the frozen pair and decides
+  in a handful of steps.
+
+Under benign (fair random) scheduling both protocols terminate — the
+difference is adversary-robustness, which is the paper's whole point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.core.naive import NaiveProtocol
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.sched.adversary import NaiveKillerAdversary
+from repro.sched.simple import RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+BUDGET = 5_000
+N_RUNS = 300
+
+
+def victim_outcomes(protocol_factory, scheduler_factory, seed=77):
+    runner = ExperimentRunner(
+        protocol_factory=protocol_factory,
+        scheduler_factory=scheduler_factory,
+        inputs_factory=lambda i, rng: tuple(
+            rng.choice(["a", "b"]) for _ in range(3)
+        ),
+        seed=seed,
+    )
+    decided = 0
+    costs = []
+    activations = []
+    for i in range(N_RUNS):
+        result = runner.run_one(i, BUDGET)
+        if 2 in result.decisions:
+            decided += 1
+            costs.append(result.decision_activation[2])
+        activations.append(result.activations[2])
+    return decided, costs, activations
+
+
+def test_bench_killer_adversary_contrast(benchmark, report):
+    def run_all():
+        return {
+            "naive / killer": victim_outcomes(
+                lambda: NaiveProtocol(3),
+                lambda rng: NaiveKillerAdversary()),
+            "figure-2 / killer": victim_outcomes(
+                lambda: ThreeUnboundedProtocol(),
+                lambda rng: NaiveKillerAdversary()),
+            "naive / fair random": victim_outcomes(
+                lambda: NaiveProtocol(3),
+                lambda rng: RandomScheduler(rng)),
+            "figure-2 / fair random": victim_outcomes(
+                lambda: ThreeUnboundedProtocol(),
+                lambda rng: RandomScheduler(rng)),
+        }
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for label, (decided, costs, activations) in outcomes.items():
+        mean_cost = (f"{summarize(costs).mean:.1f}" if costs else "—")
+        mean_act = summarize(activations).mean
+        rows.append((label, f"{decided}/{N_RUNS}", mean_cost,
+                     f"{mean_act:.0f}"))
+    report.add_table(
+        "E4 (Section 5): victim decision rate under the killer adversary",
+        header=("protocol / scheduler", "victim decided",
+                "mean steps to decide", "mean victim activations"),
+        rows=rows,
+        note=(f"{N_RUNS} runs each, budget {BUDGET} steps; 'victim' = the "
+              "processor the adversary\nstarves last.  Paper: the naive "
+              "protocol 'fails' — no decision can ever be reached\nby the "
+              "victim; the real protocol decides regardless.  Measured "
+              "shape matches:\n0% vs 100% under the killer, both fine "
+              "under fair scheduling."),
+    )
+
+    naive_killer = outcomes["naive / killer"]
+    real_killer = outcomes["figure-2 / killer"]
+    assert naive_killer[0] == 0, "naive victim must never decide"
+    assert real_killer[0] == N_RUNS, "figure-2 victim must always decide"
+    # The starved naive victim is activated essentially the whole budget.
+    assert summarize(naive_killer[2]).mean > BUDGET * 0.8

@@ -1,0 +1,90 @@
+"""E9 — register implementability (Lamport [5]).
+
+The paper's hardware claim: bounded single-writer single-reader atomic
+registers "can be implemented from existing low level hardware".  The
+benchmark climbs the construction tower under adversarial
+interleavings, grades every level against the formal safe / regular /
+atomic conditions, and prices each rung in primitive events per logical
+operation — correctness and cost of the substrate the whole model
+stands on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registers.workload import run_register_workload
+
+
+LEVELS = (
+    ("safe-cell", "safe", {}),
+    ("regular-cell", "regular", {}),
+    ("atomic-cell", "atomic", {}),
+    ("regular-from-safe", "regular", {}),
+    ("unary-regular", "regular", {}),
+    ("srsw-atomic", "atomic", {"n_readers": 1}),
+    ("mrsw-atomic", "atomic", {"n_readers": 3, "n_reads": 6}),
+)
+
+ORDER = {"broken": 0, "safe": 1, "regular": 2, "atomic": 3}
+N_SEEDS = 40
+
+
+def sweep():
+    results = {}
+    for level, claimed, kw in LEVELS:
+        worst = "atomic"
+        cost = 0.0
+        for seed in range(N_SEEDS):
+            r = run_register_workload(level, seed=seed, **kw)
+            if ORDER[r.grade()] < ORDER[worst]:
+                worst = r.grade()
+            cost += r.events_per_op
+        results[level] = (claimed, worst, cost / N_SEEDS)
+    return results
+
+
+def test_bench_register_tower(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for level, (claimed, worst, cost) in results.items():
+        verdict = "OK" if ORDER[worst] >= ORDER[claimed] else "BROKEN"
+        rows.append((level, claimed, worst, f"{cost:.1f}", verdict))
+        assert ORDER[worst] >= ORDER[claimed], (level, worst)
+    report.add_table(
+        "E9 (Lamport): the register construction tower, graded",
+        header=("level", "claimed", "worst grade observed",
+                "events/op", "verdict"),
+        rows=rows,
+        note=(f"{N_SEEDS} adversarial interleavings per level; 'worst "
+              "grade' is the weakest semantics\nany seed exhibited.  The "
+              "bare safe/regular cells degrade exactly as their "
+              "semantics\nallow (which validates the checkers), while "
+              "every construction holds its claimed\nlevel — at the "
+              "events-per-op price of each rung.  This is the executable "
+              "form of\nthe paper's 'implementable in existing "
+              "technology' claim."),
+    )
+    # The baselines must really be weaker (the checkers have teeth).
+    assert results["safe-cell"][1] == "safe"
+    assert results["regular-cell"][1] == "regular"
+    # And the tower's costs are ordered as theory predicts.
+    assert results["mrsw-atomic"][2] > results["srsw-atomic"][2]
+    assert results["unary-regular"][2] > results["regular-from-safe"][2]
+
+
+@pytest.mark.parametrize("level,kw", [
+    ("atomic-cell", {}),
+    ("srsw-atomic", {"n_readers": 1}),
+    ("mrsw-atomic", {"n_readers": 3, "n_reads": 6}),
+])
+def test_bench_single_workload_latency(benchmark, level, kw):
+    """Raw cost of one graded workload per level (timing benchmark)."""
+    counter = {"i": 0}
+
+    def once():
+        counter["i"] += 1
+        return run_register_workload(level, seed=counter["i"], **kw)
+
+    report = benchmark(once)
+    assert report.atomic.ok

@@ -1,0 +1,130 @@
+"""E5 — the bounded-register protocol (Section 6, Figure 3).
+
+Paper claims to reproduce:
+
+* correctness with *bounded* registers — we measure the set of distinct
+  register values ever written (must stay inside the finite Figure 3
+  value table) and the window invariant (all live registers within a
+  width-5 section);
+* termination at constant expected cost, including under the
+  leader/laggard gaps the checkpoint machinery exists for;
+* consistency, checked per run and exhaustively to a depth budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import summarize
+from repro.checker import verify_safety
+from repro.core.three_bounded import ThreeBoundedProtocol, ahead
+from repro.sched.adversary import LaggardFreezer, SplitVoteAdversary
+from repro.sched.simple import BlockScheduler, RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+def batch(scheduler_factory, n_runs=500, seed=909):
+    runner = ExperimentRunner(
+        protocol_factory=lambda: ThreeBoundedProtocol(),
+        scheduler_factory=scheduler_factory,
+        inputs_factory=lambda i, rng: tuple(
+            rng.choice(["a", "b"]) for _ in range(3)
+        ),
+        seed=seed,
+    )
+    return runner.run_many(n_runs, max_steps=60_000)
+
+
+def test_bench_bounded_termination(benchmark, report):
+    schedulers = (
+        ("random", lambda rng: RandomScheduler(rng)),
+        ("adaptive split-vote", lambda rng: SplitVoteAdversary()),
+        ("adaptive laggard-freezer", lambda rng: LaggardFreezer()),
+        ("block-of-9 bursts", lambda rng: BlockScheduler(9)),
+    )
+
+    def run_all():
+        return {label: batch(f) for label, f in schedulers}
+
+    stats_by = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for label, stats in stats_by.items():
+        s = summarize(stats.per_processor_costs())
+        rows.append((label, f"{s.mean:.1f}", f"{s.p99:.0f}",
+                     stats.n_consistency_violations,
+                     f"{stats.completion_rate:.3f}"))
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+    report.add_table(
+        "E5 (Section 6): bounded-register protocol under adversaries",
+        header=("scheduler", "mean steps/proc", "p99", "cons.viol",
+                "completion"),
+        rows=rows,
+        note=("500 runs per scheduler, random binary inputs.  The "
+              "bounded protocol pays a\nmodest premium over the "
+              "unbounded one (re-reads + checkpoint waits) and stays\n"
+              "correct and fast against every scheduler we field."),
+    )
+
+
+def test_bench_register_value_domain(benchmark, report):
+    def collect_domain():
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeBoundedProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: tuple(
+                rng.choice(["a", "b"]) for _ in range(3)
+            ),
+            seed=11,
+        )
+        seen = set()
+        window_ok = True
+        for i in range(300):
+            result = runner.run_one(i, 60_000, record_trace=True)
+            for step in result.trace:
+                if step.op.kind == "write":
+                    seen.add(step.op.value)
+            regs = [r for r in result.final_configuration.registers
+                    if r.mode != "dec" and r.val is not None]
+            for x in regs:
+                for y in regs:
+                    window_ok = window_ok and abs(ahead(x.pos, y.pos)) <= 4
+        return seen, window_ok
+
+    seen, window_ok = benchmark.pedantic(collect_domain, rounds=1,
+                                         iterations=1)
+    by_mode = {}
+    for v in seen:
+        by_mode[v.mode] = by_mode.get(v.mode, 0) + 1
+    # Figure 3's value table: 9 positions x 2 values in run mode (each
+    # with a third field), pref states at the 3 checkpoints, 2 dec
+    # values.
+    theoretical = 9 * 2 * 4 + 3 * 2 * 4 + 2
+    report.add_table(
+        "E5 (boundedness): distinct register values ever written",
+        header=("mode", "distinct values observed"),
+        rows=sorted(by_mode.items()),
+        note=(f"Total distinct values: {len(seen)} (finite ceiling "
+              f"{theoretical}; the paper's table\nlists [1,a]..[9,b], "
+              "[3|6|9, pref-a|b], dec-a, dec-b plus the third field).\n"
+              f"Width-5 window invariant held on every inspected "
+              f"configuration: {window_ok}."),
+    )
+    assert len(seen) <= theoretical
+    assert window_ok
+
+
+@pytest.mark.parametrize("inputs", [("a", "b", "a"), ("a", "b", "b")])
+def test_bench_exhaustive_safety(benchmark, report, inputs):
+    result = benchmark.pedantic(
+        lambda: verify_safety(ThreeBoundedProtocol(), inputs,
+                              max_depth=12, max_states=150_000),
+        rounds=1, iterations=1,
+    )
+    report.add_section(
+        f"E5 (exhaustive safety) inputs {inputs}",
+        [result.guarantee(),
+         "(the test suite pushes the same check to depth 20; "
+         "all schedules x coin outcomes)"],
+    )
+    assert result.ok

@@ -1,0 +1,194 @@
+"""E2 — the two-processor protocol (Section 4, Theorems 6/7 + corollary).
+
+Paper numbers to reproduce:
+
+* expected steps to decide ≤ 10 (corollary: 2 + 4·2),
+* P(not decided after k own steps) ≤ (1/4)^(k/2) against any adaptive
+  adversary,
+* consistency always.
+
+The benchmark runs large seeded batches under schedulers of increasing
+hostility and compares the measured mean and tail against the bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import empirical_tail, fit_geometric_rate, summarize
+from repro.analysis.theory import (
+    two_process_expected_steps_bound,
+    two_process_tail_bound,
+    two_process_tail_paper_stated,
+)
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.adversary import DisagreementAdversary, SplitVoteAdversary
+from repro.sched.simple import ObliviousScheduler, RandomScheduler
+from repro.sim.rng import ReplayableRng
+from repro.sim.runner import ExperimentRunner
+
+
+N_RUNS = 1500
+SCHEDULERS = (
+    ("round-robin-ish random", lambda rng: RandomScheduler(rng)),
+    ("oblivious bursts", lambda rng: ObliviousScheduler(rng)),
+    ("adaptive disagreement", lambda rng: DisagreementAdversary()),
+    ("adaptive split-vote", lambda rng: SplitVoteAdversary()),
+)
+
+
+def batch(scheduler_factory, n_runs=N_RUNS, seed=2025):
+    runner = ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(),
+        scheduler_factory=scheduler_factory,
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=seed,
+    )
+    return runner.run_many(n_runs, max_steps=4000)
+
+
+def test_bench_expected_steps(benchmark, report):
+    stats_by_sched = {}
+
+    def run_all():
+        out = {}
+        for label, factory in SCHEDULERS:
+            out[label] = batch(factory)
+        return out
+
+    stats_by_sched = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    bound = two_process_expected_steps_bound()
+    rows = []
+    for label, stats in stats_by_sched.items():
+        s = summarize(stats.per_processor_costs())
+        rows.append((label, f"{s.mean:.2f}", f"{s.p99:.0f}", f"{s.maximum:.0f}",
+                     f"≤ {bound:.0f}",
+                     "OK" if s.mean <= bound else "EXCEEDED",
+                     stats.n_consistency_violations))
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        assert s.mean <= bound
+    report.add_table(
+        "E2 (Corollary to Thm 7): two-processor expected steps vs bound 10",
+        header=("scheduler", "mean steps", "p99", "max", "paper bound",
+                "verdict", "cons.viol"),
+        rows=rows,
+        note=(f"{N_RUNS} runs per scheduler, inputs ('a','b'). Paper: "
+              "expected ≤ 2 + 4·2 = 10 steps\nper processor against any "
+              "adaptive adversary; measured means sit well inside it."),
+    )
+
+
+def test_bench_termination_tail(benchmark, report):
+    stats = benchmark.pedantic(
+        lambda: batch(lambda rng: DisagreementAdversary(), n_runs=4000),
+        rounds=1, iterations=1,
+    )
+    costs = stats.per_processor_costs()
+    ks = [2, 4, 6, 8, 10, 12, 14]
+    measured = empirical_tail(costs, ks)
+    implied = [two_process_tail_bound(k) for k in ks]
+    stated = [two_process_tail_paper_stated(k) for k in ks]
+    rows = [
+        (k, f"{m:.4f}", f"{t:.4f}",
+         "OK" if m <= t + 1e-9 else "ABOVE",
+         f"{s:.4f}",
+         "OK" if m <= s + 1e-9 else "ABOVE (finding F2)")
+        for k, m, t, s in zip(ks, measured, implied, stated)
+    ]
+    positive = [(k, m) for k, m in zip(ks, measured) if m > 0]
+    fitted = (fit_geometric_rate([k for k, _ in positive],
+                                 [m for _, m in positive])
+              if len(positive) >= 2 else float("nan"))
+    report.add_table(
+        "E2 (Theorem 7): P(not decided after k steps), measured vs bounds",
+        header=("k", "measured", "(3/4)^((k-2)/2)", "vs proof",
+                "(1/4)^((k-2)/2)", "vs stated"),
+        rows=rows,
+        note=("8000 per-processor samples under the adaptive disagreement "
+              f"adversary; fitted per-step decay {fitted:.3f}.\n"
+              "Finding F2: the theorem's printed (1/4)^(k/2) does not "
+              "follow from its own proof\n(pair-success ≥ 1/4 compounds "
+              "to (3/4)^(k/2)); the measured tail confirms it —\nit "
+              "violates the printed curve yet sits below the "
+              "proof-implied one at every k."),
+    )
+    for m, t in zip(measured, implied):
+        assert m <= t + 1e-9
+    # F2's teeth: the printed bound really is violated somewhere.
+    assert any(m > s + 1e-9 for m, s in zip(measured, stated))
+
+
+def test_bench_exact_game_value(benchmark, report):
+    """F4: solve the scheduling game exactly — the corollary is tight."""
+    from repro.sched.optimal import OptimalAdversary, solve_game
+
+    def solve_all():
+        return {
+            "P0 steps, inputs (a,b)": solve_game(
+                TwoProcessProtocol(), ("a", "b"), cost_model="processor:0"),
+            "total steps, inputs (a,b)": solve_game(
+                TwoProcessProtocol(), ("a", "b"), cost_model="total"),
+            "P0 steps, unanimous (a,a)": solve_game(
+                TwoProcessProtocol(), ("a", "a"), cost_model="processor:0"),
+            "P0 steps, footnote-2 variant": solve_game(
+                TwoProcessProtocol(skip_redundant_rewrite=True),
+                ("a", "b"), cost_model="processor:0"),
+            "P0 steps, biased coin p=0.9": solve_game(
+                TwoProcessProtocol(p_heads=0.9), ("a", "b"),
+                cost_model="processor:0"),
+        }
+
+    solutions = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    rows = [
+        (label, f"{sol.value:.4f}", len(sol.values), sol.iterations)
+        for label, sol in solutions.items()
+    ]
+
+    # Monte-Carlo under the computed optimal policy must approach the
+    # exact value.
+    sol = solutions["P0 steps, inputs (a,b)"]
+    runner = ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(),
+        scheduler_factory=lambda rng: OptimalAdversary(sol),
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=5,
+    )
+    stats = runner.run_many(3000, 4000)
+    measured = (sum(r.steps_to_decide[0] for r in stats.runs)
+                / len(stats.runs))
+
+    report.add_table(
+        "E2 / finding F4: the exact scheduling game (value iteration)",
+        header=("game", "exact worst-case E[cost]", "configs",
+                "sweeps"),
+        rows=rows,
+        note=("The adversary-vs-coins interaction solved exactly on the "
+              "finite configuration\ngraph.  The per-processor value is "
+              "10.0000: the corollary's bound 2 + 4*2 = 10 is\n*tight* — "
+              "the optimal adaptive adversary achieves it (heuristic "
+              "adversaries only\nreach ~4).  Monte-Carlo under the "
+              f"computed optimal policy: {measured:.2f} steps\n(3000 "
+              "runs), matching the game value within sampling error."),
+    )
+    assert sol.value == pytest.approx(10.0, abs=1e-9)
+    assert 9.0 <= measured <= 11.0
+
+
+def test_bench_single_run_latency(benchmark):
+    """Raw kernel throughput: one full two-processor consensus."""
+    counter = {"i": 0}
+
+    def one_run():
+        counter["i"] += 1
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=counter["i"],
+        )
+        return runner.run_one(0, max_steps=4000)
+
+    result = benchmark(one_run)
+    assert result.completed

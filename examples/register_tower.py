@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The register tower: from flickering bits to atomic registers.
+
+The paper's model needs atomic single-writer registers and asserts
+(citing Lamport) that they "can be implemented from existing low level
+hardware".  This example climbs the construction tower in a simulated
+interval-time world where reads genuinely overlap writes:
+
+    safe bit -> regular bit -> k-valued regular -> SRSW atomic
+             -> MRSW atomic
+
+For each level it runs an adversarially interleaved workload, grades
+the resulting operation history against the formal safe / regular /
+atomic conditions, and reports the primitive-operation cost per logical
+operation (the price of each rung).
+
+Usage:
+    python examples/register_tower.py [n_seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.registers import run_register_workload
+
+LEVELS = (
+    ("safe-cell", "bare safe cell (flickering hardware bit)", {}),
+    ("regular-cell", "bare regular cell", {}),
+    ("atomic-cell", "bare atomic cell (reference)", {}),
+    ("regular-from-safe", "regular bit from safe bit", {}),
+    ("unary-regular", "k-valued regular from regular bits", {}),
+    ("srsw-atomic", "SRSW atomic from regular + seqnums", {"n_readers": 1}),
+    ("mrsw-atomic", "MRSW atomic from SRSW + reader gossip",
+     {"n_readers": 3, "n_reads": 6}),
+)
+
+
+def main() -> None:
+    n_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    print(f"Grading each level over {n_seeds} adversarial interleavings\n")
+    print(f"{'level':<20} {'construction':<40} {'grade':<9} "
+          f"{'events/op':>9}")
+    print("-" * 82)
+    for level, blurb, kw in LEVELS:
+        worst = "atomic"
+        cost = 0.0
+        order = {"broken": 0, "safe": 1, "regular": 2, "atomic": 3}
+        for seed in range(n_seeds):
+            report = run_register_workload(level, seed=seed, **kw)
+            if order[report.grade()] < order[worst]:
+                worst = report.grade()
+            cost += report.events_per_op
+        cost /= n_seeds
+        print(f"{level:<20} {blurb:<40} {worst:<9} {cost:>9.1f}")
+
+    print(
+        "\nReading the table: a level's worst grade over all seeds is "
+        "its real semantics.\nThe bare safe cell degrades to 'safe' "
+        "(overlapping reads return garbage), the\nbare regular cell to "
+        "'regular' (new/old inversions), while every construction\n"
+        "holds the level it is built to provide — at a measurable "
+        "events-per-operation\ncost that is the price of the guarantee "
+        "(benchmark E9 quantifies this)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy shim so editable installs work without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only exists
+because the build environment is offline and its setuptools cannot
+build PEP 517 editable wheels (`pip install -e . --no-build-isolation
+--no-use-pep517` takes the legacy path through here).
+"""
+
+from setuptools import setup
+
+setup()

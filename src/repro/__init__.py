@@ -1,0 +1,86 @@
+"""repro — reproduction of Chor, Israeli & Li, PODC 1987.
+
+*On Processor Coordination Using Asynchronous Hardware*: randomized
+wait-free consensus for asynchronous processors that communicate only
+through atomic read/write registers, plus the impossibility of solving
+the same problem deterministically.
+
+Package map
+-----------
+
+``repro.core``
+    The paper's protocols: two-processor (Figure 1), three-processor
+    unbounded (Figure 2), three-processor bounded (Figure 3 / Section
+    6), the n-processor generalization, the Theorem 5 multivalued
+    reduction, and baselines.
+``repro.sim``
+    The Section 2 machine: automaton processors, atomic registers with
+    reader/writer sets, serialized steps, seeded randomness.
+``repro.sched``
+    Schedulers from benign round-robin to the full-knowledge adaptive
+    adversaries of the termination proofs, plus fail-stop crashes.
+``repro.checker``
+    Exhaustive safety verification and the mechanized Section 3
+    impossibility pipeline (bivalence, Lemma 3, non-deciding lassos).
+``repro.registers``
+    The Lamport register-construction substrate: safe → regular →
+    atomic, bits → words, SRSW → MRSW, with a linearizability checker.
+``repro.apps``
+    The applications the paper motivates coordination with: mutual
+    exclusion, leader election, choice coordination.
+``repro.analysis``
+    The paper's bounds as formulas and the statistics that compare
+    measurements against them.
+
+Quickstart
+----------
+
+>>> from repro import solve, TwoProcessProtocol
+>>> outcome = solve(TwoProcessProtocol(), ["a", "b"], seed=1)
+>>> outcome.consistent and outcome.value in ("a", "b")
+True
+"""
+
+from repro.core import (
+    ConsensusOutcome,
+    ConsensusProtocol,
+    MultiValuedProtocol,
+    NaiveProtocol,
+    NProcessProtocol,
+    ThreeBoundedProtocol,
+    ThreeUnboundedProtocol,
+    TwoProcessProtocol,
+    solve,
+)
+from repro.errors import (
+    AccessViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    VerificationError,
+)
+from repro.sim import BOTTOM, ExperimentRunner, ReplayableRng, Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsensusOutcome",
+    "ConsensusProtocol",
+    "MultiValuedProtocol",
+    "NaiveProtocol",
+    "NProcessProtocol",
+    "ThreeBoundedProtocol",
+    "ThreeUnboundedProtocol",
+    "TwoProcessProtocol",
+    "solve",
+    "AccessViolation",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "VerificationError",
+    "BOTTOM",
+    "ExperimentRunner",
+    "ReplayableRng",
+    "Simulation",
+    "__version__",
+]

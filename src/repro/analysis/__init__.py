@@ -1,0 +1,38 @@
+"""Analysis helpers: the paper's closed-form bounds and empirical stats.
+
+:mod:`repro.analysis.theory` encodes every quantitative claim in the
+paper as a function (tail envelopes, expected-step bounds, reduction
+costs), so benchmarks compare measurement against formula rather than
+against magic numbers.  :mod:`repro.analysis.stats` provides the
+dependency-free statistics used to summarize Monte-Carlo batches.
+"""
+
+from repro.analysis.theory import (
+    two_process_tail_bound,
+    two_process_tail_paper_stated,
+    two_process_expected_steps_bound,
+    three_unbounded_num_tail_bound,
+    multivalued_instance_count,
+    geometric_tail,
+)
+from repro.analysis.stats import (
+    Summary,
+    summarize,
+    empirical_tail,
+    mean_confidence_interval,
+    fit_geometric_rate,
+)
+
+__all__ = [
+    "two_process_tail_bound",
+    "two_process_tail_paper_stated",
+    "two_process_expected_steps_bound",
+    "three_unbounded_num_tail_bound",
+    "multivalued_instance_count",
+    "geometric_tail",
+    "Summary",
+    "summarize",
+    "empirical_tail",
+    "mean_confidence_interval",
+    "fit_geometric_rate",
+]

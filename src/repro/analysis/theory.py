@@ -1,0 +1,114 @@
+"""The paper's quantitative claims as executable formulas.
+
+Every benchmark compares its measurements against these functions, so
+the mapping from theorem to number lives in exactly one place:
+
+* Theorem 7 + Corollary (Section 4): the two-processor protocol's tail
+  bound and the expected-steps bound of 10;
+* Theorem 9 + Corollary (Section 5): the three-processor protocol's
+  geometric num-field envelope;
+* Theorem 5 (Section 4): the ⌈log₂ k⌉ multiplicative cost of k-valued
+  coordination.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def geometric_tail(rate: float, k: int) -> float:
+    """P(X > k) for a geometric-type tail with per-round survival ``rate``."""
+    if not 0.0 < rate < 1.0:
+        raise ValueError("rate must be in (0, 1)")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return rate ** k
+
+
+def two_process_tail_bound(k: int) -> float:
+    """Theorem 7, proof-implied: P(not decided after k of its steps).
+
+    The proof shows every read-write pair after the initial write
+    reaches a univalent configuration with probability **at least
+    1/4**, whatever the adaptive scheduler does.  Independent pair
+    failures of probability ≤ 3/4 compound to
+
+        P(not decided after k + 2 steps) ≤ (3/4)^(k/2),
+
+    i.e. (3/4)^((j−2)/2) in terms of the total per-processor step
+    count j (the two extra steps are the initial write and the final
+    read), clamped to 1 for j ≤ 2.
+
+    Note the exponent *base*: the paper's statement says (1/4)^(k/2),
+    which does not follow from its own per-pair probability — with
+    pair-success ≥ 1/4 the survivor mass is (3/4)^(k/2), and our
+    measurements land between the two (per-pair failure ≈ 1/2 under
+    the strongest adversaries we field).  This is reproduction finding
+    F2; :func:`two_process_tail_paper_stated` preserves the printed
+    claim for comparison.  The corollary's expectation (2 + 4·2 = 10)
+    is consistent with the proof-implied version: 1/4 success per pair
+    means 4 expected pairs of 2 steps each.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k <= 2:
+        return 1.0
+    return (3.0 / 4.0) ** ((k - 2) / 2.0)
+
+
+def two_process_tail_paper_stated(k: int) -> float:
+    """Theorem 7 as literally printed: (1/4)^((k−2)/2).
+
+    Kept for the E2 comparison table; see finding F2 in EXPERIMENTS.md
+    — the measured tail violates this curve but satisfies the
+    proof-implied :func:`two_process_tail_bound`.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k <= 2:
+        return 1.0
+    return (1.0 / 4.0) ** ((k - 2) / 2.0)
+
+
+def two_process_expected_steps_bound() -> float:
+    """Corollary to Theorem 7: E[steps to decide] ≤ 2 + 4·2 = 10.
+
+    One initial write, one final read, and an expected 4 read-write
+    pairs (success probability 1/4 per pair, 2 steps per pair).
+    """
+    return 10.0
+
+
+def three_unbounded_num_tail_bound(k: int) -> float:
+    """Theorem 9: P(num = k in any register) ≤ (3/4)^k.
+
+    Each time a leading processor increments its num, the others agree
+    with it with probability at least 1/4, so reaching num k requires
+    surviving k independent 3/4-probability escapes.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return (3.0 / 4.0) ** k
+
+
+def multivalued_instance_count(k: int) -> int:
+    """Theorem 5: number of binary instances for a k-valued domain."""
+    if k < 2:
+        raise ValueError("need at least two values")
+    return max(1, math.ceil(math.log2(k)))
+
+
+def expected_steps_series(tail, k_max: int) -> float:
+    """E[X] = Σ_{k≥0} P(X > k), truncated at ``k_max``.
+
+    Utility for turning a tail bound into an expected-value bound; with
+    the paper's exponentially decreasing tails the truncation error is
+    negligible for modest ``k_max``.
+    """
+    return sum(tail(k) for k in range(k_max + 1))
+
+
+def theory_tail_curve(tail, ks: List[int]) -> List[float]:
+    """Evaluate a tail bound on a list of abscissae (plot helper)."""
+    return [tail(k) for k in ks]

@@ -1,0 +1,36 @@
+"""Applications of coordination (the paper's Section 1 motivation).
+
+The coordination problem "includes several well studied distributed
+problems as a special case":
+
+* :mod:`repro.apps.mutex` — mutual exclusion: "choosing the identity of
+  a processor who is to enter the critical region ... the input value
+  of every processor in the trial region is simply its own identity";
+* :mod:`repro.apps.leader` — leader election, the one-shot version of
+  the same idea;
+* :mod:`repro.apps.choice` — choice coordination à la Rabin [6]:
+  processors with private preferences agree on one shared alternative;
+* :mod:`repro.apps.test_and_set` — a one-shot test-and-set object,
+  recovering (softly) the primitive the paper's model excludes.
+
+Each application is a thin, honest layer over the consensus protocols:
+the point is to demonstrate the reduction the paper sketches, with the
+application-level correctness properties (mutual exclusion, unique
+leader, valid choice) checked explicitly.
+"""
+
+from repro.apps.mutex import CriticalSectionLog, MutualExclusion
+from repro.apps.leader import LeaderElection, elect_leader
+from repro.apps.choice import ChoiceCoordination, coordinate_choice
+from repro.apps.test_and_set import OneShotTestAndSet, TasOutcome
+
+__all__ = [
+    "CriticalSectionLog",
+    "MutualExclusion",
+    "LeaderElection",
+    "elect_leader",
+    "ChoiceCoordination",
+    "coordinate_choice",
+    "OneShotTestAndSet",
+    "TasOutcome",
+]

@@ -1,0 +1,83 @@
+"""Leader election: the one-shot identity-agreement special case.
+
+Electing a leader among n asynchronous processors is coordination with
+inputs = processor identities: the agreed value names the leader.  The
+paper's wait-freedom makes this election robust in a way message-
+passing elections cannot be: up to n−1 processors may crash (or simply
+be arbitrarily slow) and the survivors still elect *some* processor —
+possibly a crashed one, which is unavoidable and harmless for uses like
+"who owns this log segment" where the losers only need a consistent
+answer, not a live leader.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.n_process import NProcessProtocol
+from repro.errors import VerificationError
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+from repro.sched.crash import CrashingScheduler, CrashPlan
+from repro.sched.simple import RandomScheduler
+
+
+@dataclasses.dataclass(frozen=True)
+class LeaderElection:
+    """Result of one election."""
+
+    leader: int
+    votes: Dict[int, int]  # pid -> the leader it learned
+    steps: int
+    crashed: Tuple[int, ...]
+
+    @property
+    def unanimous(self) -> bool:
+        return len(set(self.votes.values())) <= 1
+
+
+def elect_leader(
+    n: int,
+    seed: int = 0,
+    crash: Optional[Sequence[int]] = None,
+    max_steps: int = 200_000,
+) -> LeaderElection:
+    """Elect a leader among ``n`` processors, optionally crashing some.
+
+    ``crash`` lists processor ids to fail-stop right after their first
+    step (they wrote their candidacy and died).  At least one processor
+    must survive.
+
+    >>> result = elect_leader(4, seed=3)
+    >>> result.unanimous and 0 <= result.leader < 4
+    True
+    """
+    if n < 2:
+        raise ValueError("an election needs at least two processors")
+    crash = tuple(crash or ())
+    if len(set(crash)) >= n:
+        raise ValueError("at least one processor must survive")
+
+    rng = ReplayableRng(seed)
+    protocol = NProcessProtocol(n, values=tuple(range(n)))
+    scheduler = RandomScheduler(rng.child("sched"))
+    if crash:
+        plan = CrashPlan(after_activations={pid: 1 for pid in crash})
+        scheduler = CrashingScheduler(scheduler, plan)
+    sim = Simulation(protocol, inputs=tuple(range(n)), scheduler=scheduler,
+                     rng=rng.child("kernel"))
+    result = sim.run(max_steps)
+
+    votes = dict(result.decisions)
+    if not votes:
+        raise VerificationError("no survivor learned a leader")
+    leaders = set(votes.values())
+    if len(leaders) != 1:
+        raise VerificationError(f"split election: {votes!r}")
+    return LeaderElection(
+        leader=next(iter(leaders)),
+        votes=votes,
+        steps=result.total_steps,
+        crashed=tuple(sorted(result.crashed)),
+    )

@@ -1,0 +1,116 @@
+"""One-shot test-and-set from coordination.
+
+The paper's model pointedly *excludes* atomic test-and-set: "atomic
+test-and-set seems to require quite stringent timing constraints on the
+low level hardware".  The coordination protocols recover a softer form
+of it: a **one-shot** test-and-set object, where of all the processors
+that ever call ``test_and_set()``, exactly one gets ``0`` (the winner,
+as if it had set the bit first) and everyone else gets ``1``.
+
+Construction: run coordination with inputs = caller identities; the
+agreed identity is the winner.  Consistency makes the winner unique;
+nontriviality makes it an actual caller; wait-freedom means a caller
+finishes no matter what the others do — none of which a deterministic
+register-only implementation could provide (Theorem 4: a 2-processor
+deterministic one-shot TAS would solve coordination deterministically).
+
+This is the historically resonant direction: test-and-set has consensus
+number 2 in Herlihy's hierarchy, and the paper's randomized protocols
+are exactly what lets humble read/write registers climb past their
+deterministic consensus number of 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.core.n_process import NProcessProtocol
+from repro.errors import VerificationError
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+from repro.sched.simple import RandomScheduler
+
+
+@dataclasses.dataclass(frozen=True)
+class TasOutcome:
+    """What one one-shot TAS race produced."""
+
+    winner: int
+    returns: Dict[int, int]  # pid -> 0 (won) or 1 (lost)
+    steps: int
+
+    @property
+    def exactly_one_winner(self) -> bool:
+        return sum(1 for r in self.returns.values() if r == 0) == 1
+
+
+class OneShotTestAndSet:
+    """A single-use test-and-set object for a fixed set of processors.
+
+    Usage::
+
+        tas = OneShotTestAndSet(n=4, seed=7)
+        outcome = tas.race([0, 2, 3])   # these processors all call TAS
+        outcome.returns                 # {0: 1, 2: 0, 3: 1} — P2 won
+
+    The race is resolved by one consensus instance among the callers
+    (their ids as inputs); a processor that never calls is simply not a
+    participant, matching TAS semantics where non-callers observe
+    nothing.
+    """
+
+    def __init__(self, n: int, seed: int = 0, scheduler_factory=None) -> None:
+        if n < 1:
+            raise ValueError("need at least one processor")
+        self.n = n
+        self._rng = ReplayableRng(seed)
+        self._scheduler_factory = scheduler_factory or (
+            lambda rng: RandomScheduler(rng)
+        )
+        self._outcome: Optional[TasOutcome] = None
+
+    @property
+    def consumed(self) -> bool:
+        """One-shot: has the race been run?"""
+        return self._outcome is not None
+
+    def race(self, callers: Sequence[int],
+             max_steps: int = 200_000) -> TasOutcome:
+        """Resolve the object among ``callers`` (each calls TAS once)."""
+        if self.consumed:
+            raise VerificationError("one-shot test-and-set already used")
+        callers = tuple(sorted(set(callers)))
+        if any(not 0 <= c < self.n for c in callers):
+            raise ValueError(f"callers {callers} outside 0..{self.n - 1}")
+        if not callers:
+            raise ValueError("at least one caller required")
+
+        if len(callers) == 1:
+            # A solo caller wins trivially (it reads no contention).
+            outcome = TasOutcome(
+                winner=callers[0], returns={callers[0]: 0}, steps=0
+            )
+            self._outcome = outcome
+            return outcome
+
+        protocol = NProcessProtocol(len(callers), values=callers)
+        sim = Simulation(
+            protocol, inputs=callers,
+            scheduler=self._scheduler_factory(self._rng.child("sched")),
+            rng=self._rng.child("kernel"),
+        )
+        result = sim.run(max_steps)
+        if not result.completed:
+            raise VerificationError(f"race exceeded {max_steps} steps")
+        values = result.decided_values
+        if len(values) != 1:
+            raise VerificationError(f"split race: {result.decisions!r}")
+        winner = next(iter(values))
+        outcome = TasOutcome(
+            winner=winner,
+            returns={c: 0 if c == winner else 1 for c in callers},
+            steps=result.total_steps,
+        )
+        self._outcome = outcome
+        return outcome

@@ -1,0 +1,46 @@
+"""Verification machinery.
+
+Three layers, all operating on the explicit automaton formalism:
+
+* :mod:`repro.checker.properties` — validate single runs (consistency,
+  nontriviality, wait-free accounting) and exhaustively verify *safety*
+  of randomized protocols over all schedules × all coin outcomes up to
+  a state/depth budget.  Safety must hold with probability one, so
+  enumerating coin outcomes is sound.
+* :mod:`repro.checker.explorer` — the underlying explicit-state
+  reachability engine (configuration graphs).
+* :mod:`repro.checker.valency` + :mod:`repro.checker.flp` — mechanize
+  Section 3: classify configurations as univalent/bivalent (Lemmas 1-2)
+  and constructively extend bivalence into an explicit infinite
+  non-deciding schedule (Lemma 3 / Theorem 4) for any deterministic
+  protocol.
+"""
+
+from repro.checker.explorer import ConfigGraph, Successor, explore, successors
+from repro.checker.properties import (
+    SafetyReport,
+    validate_run,
+    verify_safety,
+)
+from repro.checker.valency import Valency, classify, decision_values_of
+from repro.checker.flp import (
+    ImpossibilityReport,
+    analyze_deterministic,
+    find_bivalent_initial,
+)
+
+__all__ = [
+    "ConfigGraph",
+    "Successor",
+    "explore",
+    "successors",
+    "SafetyReport",
+    "validate_run",
+    "verify_safety",
+    "Valency",
+    "classify",
+    "decision_values_of",
+    "ImpossibilityReport",
+    "analyze_deterministic",
+    "find_bivalent_initial",
+]

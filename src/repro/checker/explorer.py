@@ -1,0 +1,186 @@
+"""Explicit-state exploration of protocol configuration graphs.
+
+A configuration (processor states + register contents) is hashable, so
+the set of configurations reachable under *every* scheduler choice and
+*every* coin outcome can be enumerated by plain breadth-first search.
+For the paper's protocols this is the ground truth the theorems talk
+about: a safety property verified over this graph holds against the
+strongest adaptive adversary, because the adversary can only pick paths
+inside the graph.
+
+The graph may be infinite (the unbounded protocol's num fields); the
+explorer therefore takes depth and state budgets and reports whether it
+exhausted the reachable space or was truncated.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.sim.config import Configuration, RegisterLayout
+from repro.sim.ops import ReadOp, WriteOp
+from repro.sim.process import Automaton
+
+
+@dataclasses.dataclass(frozen=True)
+class Successor:
+    """One outgoing edge of the configuration graph.
+
+    ``pid`` is the processor the scheduler activates, ``probability``
+    the coin weight of the branch taken (1.0 for deterministic steps),
+    ``op`` the register operation performed.
+    """
+
+    pid: int
+    probability: float
+    op: object
+    config: Configuration
+
+
+def enabled_pids(protocol: Automaton, config: Configuration) -> Tuple[int, ...]:
+    """Processors that may still take a step (undecided ones)."""
+    return tuple(
+        pid for pid in range(protocol.n_processes)
+        if protocol.output(pid, config.states[pid]) is None
+    )
+
+
+def successors(
+    protocol: Automaton,
+    layout: RegisterLayout,
+    config: Configuration,
+) -> Iterator[Successor]:
+    """All one-step successors over scheduler choices × coin branches."""
+    for pid in enabled_pids(protocol, config):
+        state = config.states[pid]
+        for branch in protocol.branches(pid, state):
+            op = branch.op
+            if isinstance(op, ReadOp):
+                slot = layout.check_read(pid, op.register)
+                result: Hashable = config.registers[slot]
+                next_config = config
+            else:
+                assert isinstance(op, WriteOp)
+                slot = layout.check_write(pid, op.register)
+                result = None
+                next_config = config.with_register(slot, op.value)
+            new_state = protocol.observe(pid, state, op, result)
+            next_config = next_config.with_state(pid, new_state)
+            yield Successor(
+                pid=pid, probability=branch.probability, op=op,
+                config=next_config,
+            )
+
+
+@dataclasses.dataclass
+class ConfigGraph:
+    """The (possibly truncated) reachable configuration graph.
+
+    ``edges[c]`` lists the successors of configuration ``c``;
+    configurations in ``frontier`` were reached but not expanded
+    (budget exhaustion), so the graph is complete iff ``complete``.
+    """
+
+    protocol: Automaton
+    layout: RegisterLayout
+    roots: Tuple[Configuration, ...]
+    edges: Dict[Configuration, Tuple[Successor, ...]]
+    depth_of: Dict[Configuration, int]
+    frontier: Tuple[Configuration, ...]
+    complete: bool
+
+    @property
+    def n_states(self) -> int:
+        return len(self.depth_of)
+
+    def nodes(self) -> Iterator[Configuration]:
+        return iter(self.depth_of)
+
+    def terminal_nodes(self) -> Iterator[Configuration]:
+        """Expanded configurations with no enabled processor."""
+        for config, succ in self.edges.items():
+            if not succ:
+                yield config
+
+
+def explore(
+    protocol: Automaton,
+    inputs: Sequence[Hashable],
+    max_depth: Optional[int] = None,
+    max_states: int = 1_000_000,
+    on_node: Optional[Callable[[Configuration, int], None]] = None,
+) -> ConfigGraph:
+    """Breadth-first exploration from the initial configuration.
+
+    Parameters
+    ----------
+    protocol, inputs:
+        The system to explore.
+    max_depth:
+        Expand configurations at depth < max_depth only (``None`` means
+        unlimited — use for protocols known to be finite-state).
+    max_states:
+        Hard cap on distinct configurations; exceeding it truncates the
+        graph (``complete=False``).
+    on_node:
+        Optional callback ``(config, depth)`` invoked on first visit —
+        used by the safety checker to test invariants without a second
+        pass.
+    """
+    layout = RegisterLayout.for_protocol(protocol)
+    root = Configuration.initial(protocol, layout, inputs)
+    depth_of: Dict[Configuration, int] = {root: 0}
+    edges: Dict[Configuration, Tuple[Successor, ...]] = {}
+    frontier: List[Configuration] = []
+    complete = True
+    queue = collections.deque([root])
+
+    if on_node is not None:
+        on_node(root, 0)
+
+    while queue:
+        config = queue.popleft()
+        depth = depth_of[config]
+        if max_depth is not None and depth >= max_depth:
+            # Depth budget: do not expand, but only a config that
+            # actually has successors makes the graph incomplete.
+            if tuple(successors(protocol, layout, config)):
+                frontier.append(config)
+                complete = False
+            else:
+                edges[config] = ()
+            continue
+        succ = tuple(successors(protocol, layout, config))
+        edges[config] = succ
+        for s in succ:
+            if s.config not in depth_of:
+                if len(depth_of) >= max_states:
+                    complete = False
+                    frontier.append(config)
+                    break
+                depth_of[s.config] = depth + 1
+                if on_node is not None:
+                    on_node(s.config, depth + 1)
+                queue.append(s.config)
+        else:
+            continue
+        break  # state budget exhausted: stop expanding
+
+    # Anything left unexpanded in the queue is frontier too.
+    for config in queue:
+        if config not in edges:
+            frontier.append(config)
+            if tuple(successors(protocol, layout, config)):
+                complete = False
+
+    return ConfigGraph(
+        protocol=protocol,
+        layout=layout,
+        roots=(root,),
+        edges=edges,
+        depth_of=depth_of,
+        frontier=tuple(frontier),
+        complete=complete,
+    )

@@ -1,0 +1,316 @@
+"""Mechanizing Theorem 4: deterministic coordination is impossible.
+
+The paper's proof (an adaptation of Fischer-Lynch-Paterson to shared
+registers) is constructive at heart:
+
+* **Lemma 2** — some initial configuration is bivalent (found here by
+  classifying the initial configuration of every input assignment);
+* **Lemma 3** — from any bivalent configuration, some processor's step
+  leads to another bivalent configuration (found here by inspecting the
+  classified graph);
+* **Theorem 4** — iterating Lemma 3 yields an infinite non-deciding
+  schedule (found here as a *lasso*: since the reachable graph of a
+  finite-state deterministic protocol is finite, the bivalence-
+  preserving walk must revisit a configuration, and the cycle can be
+  pumped forever).
+
+:func:`analyze_deterministic` runs the whole pipeline on a concrete
+deterministic protocol and returns exactly one of the three possible
+failure certificates Theorem 4 guarantees: a consistency violation, a
+nontriviality violation, or an explicit non-terminating schedule.  The
+theorem says every deterministic protocol yields one — benchmark E1
+sweeps the zoo of :mod:`repro.core.deterministic` and checks that none
+escapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.checker.explorer import ConfigGraph, explore
+from repro.checker.valency import Valency, ValencyMap, classify
+from repro.errors import ProtocolError, VerificationError
+from repro.sim.config import Configuration
+from repro.sim.process import Automaton
+
+
+@dataclasses.dataclass(frozen=True)
+class ImpossibilityReport:
+    """The Theorem 4 certificate for one deterministic protocol.
+
+    Exactly one of the three certificates is populated:
+
+    * ``consistency_violation`` — an input assignment and reachable
+      configuration with two different decisions;
+    * ``nontriviality_violation`` — likewise, with a decision outside
+      the inputs;
+    * ``lasso`` — an input assignment plus (prefix, cycle) schedules:
+      running ``prefix`` then repeating ``cycle`` forever keeps the
+      system bivalent, so no processor ever decides.  ``fair`` records
+      whether the cycle activates every processor (the strongest form
+      of the witness: even a fair schedule fails).
+    """
+
+    protocol_name: str
+    inputs: Optional[Tuple[Hashable, ...]] = None
+    consistency_violation: Optional[str] = None
+    nontriviality_violation: Optional[str] = None
+    lasso_prefix: Optional[Tuple[int, ...]] = None
+    lasso_cycle: Optional[Tuple[int, ...]] = None
+    fair: Optional[bool] = None
+    states_explored: int = 0
+
+    @property
+    def verdict(self) -> str:
+        if self.consistency_violation:
+            return "violates consistency"
+        if self.nontriviality_violation:
+            return "violates nontriviality"
+        return "admits an infinite non-deciding schedule"
+
+    def render(self) -> str:
+        lines = [f"{self.protocol_name}: {self.verdict}"]
+        if self.inputs is not None:
+            lines.append(f"  inputs: {self.inputs!r}")
+        if self.consistency_violation:
+            lines.append(f"  {self.consistency_violation}")
+        if self.nontriviality_violation:
+            lines.append(f"  {self.nontriviality_violation}")
+        if self.lasso_cycle:
+            lines.append(
+                f"  schedule: {list(self.lasso_prefix)} then repeat "
+                f"{list(self.lasso_cycle)} forever"
+                + (" (fair cycle)" if self.fair else "")
+            )
+        lines.append(f"  ({self.states_explored} configurations examined)")
+        return "\n".join(lines)
+
+
+def _check_deterministic(protocol: Automaton) -> None:
+    randomized = getattr(protocol, "is_randomized", True)
+    if randomized:
+        raise ProtocolError(
+            f"{protocol.name} declares itself randomized; the Theorem 4 "
+            "pipeline applies to deterministic protocols only"
+        )
+
+
+def _graphs_per_input(
+    protocol: Automaton,
+    values: Sequence[Hashable],
+    max_states: int,
+) -> Dict[Tuple[Hashable, ...], ConfigGraph]:
+    graphs = {}
+    for inputs in itertools.product(values, repeat=protocol.n_processes):
+        graphs[inputs] = explore(protocol, inputs, max_states=max_states)
+    return graphs
+
+
+def _safety_certificate(
+    protocol: Automaton,
+    inputs: Tuple[Hashable, ...],
+    graph: ConfigGraph,
+) -> Optional[ImpossibilityReport]:
+    """Scan a graph for consistency/nontriviality violations."""
+    input_set = set(inputs)
+    for config in graph.nodes():
+        decided = config.decisions(protocol)
+        vals = set(decided.values())
+        if len(vals) > 1:
+            return ImpossibilityReport(
+                protocol_name=protocol.name,
+                inputs=inputs,
+                consistency_violation=(
+                    f"reachable configuration decides {decided!r}"
+                ),
+                states_explored=graph.n_states,
+            )
+        if any(v not in input_set for v in vals):
+            return ImpossibilityReport(
+                protocol_name=protocol.name,
+                inputs=inputs,
+                nontriviality_violation=(
+                    f"reachable configuration decides {decided!r}, "
+                    f"not among inputs"
+                ),
+                states_explored=graph.n_states,
+            )
+    return None
+
+
+def find_bivalent_initial(
+    protocol: Automaton,
+    values: Sequence[Hashable] = ("a", "b"),
+    max_states: int = 200_000,
+) -> Optional[Tuple[Tuple[Hashable, ...], ConfigGraph, ValencyMap]]:
+    """Lemma 2: search the input assignments for a bivalent (or
+    nullvalent) initial configuration.
+
+    Returns the first assignment whose initial configuration is not
+    univalent, with the classified graph — or ``None`` if every initial
+    configuration is univalent (which, per Lemma 2, means the protocol
+    breaks consistency or nontriviality somewhere else).
+    """
+    _check_deterministic(protocol)
+    for inputs, graph in _graphs_per_input(protocol, values, max_states).items():
+        vmap = classify(graph)
+        root = graph.roots[0]
+        if vmap.valency(root) is not Valency.UNIVALENT:
+            return inputs, graph, vmap
+    return None
+
+
+def _bivalence_lasso(
+    protocol: Automaton,
+    graph: ConfigGraph,
+    vmap: ValencyMap,
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Lemma 3 / Theorem 4: walk bivalence-preserving steps to a cycle.
+
+    From each non-univalent configuration pick a successor that is
+    still non-univalent (preferring steps that rotate through the
+    processors, to make the witness cycle fair when possible).  The
+    graph is finite, so the walk revisits a configuration; the portion
+    since the first visit is the pumpable cycle.
+
+    Returns ``None`` if the walk gets stuck on a configuration whose
+    successors are all univalent.  Lemma 3 rules that out only for
+    protocols that also satisfy *termination* (its proof runs the
+    solo schedule "(2,2,2,...) leads to a decision"); a non-terminating
+    protocol can legitimately strand the walk, and the caller then
+    falls back to the general cycle witness.
+    """
+    root = graph.roots[0]
+    path: List[Tuple[Configuration, int]] = []  # (config, pid taken)
+    seen: Dict[Configuration, int] = {root: 0}
+    config = root
+    last_pid = -1
+    while True:
+        candidates = [
+            s for s in graph.edges[config]
+            if vmap.valency(s.config) is not Valency.UNIVALENT
+        ]
+        if not candidates:
+            return None
+        # Prefer a different processor than last time (fair witness),
+        # then prefer unseen configurations to shorten the prefix.
+        candidates.sort(
+            key=lambda s: (s.pid == last_pid, s.config in seen)
+        )
+        step = candidates[0]
+        path.append((config, step.pid))
+        last_pid = step.pid
+        config = step.config
+        if config in seen:
+            cut = seen[config]
+            schedule = [pid for (_c, pid) in path]
+            return tuple(schedule[:cut]), tuple(schedule[cut:])
+        seen[config] = len(path)
+
+
+def analyze_deterministic(
+    protocol: Automaton,
+    values: Sequence[Hashable] = ("a", "b"),
+    max_states: int = 200_000,
+) -> ImpossibilityReport:
+    """Produce the Theorem 4 certificate for one deterministic protocol.
+
+    Either a safety violation (with the offending input assignment) or
+    an explicit infinite non-deciding schedule.  Raises
+    :class:`VerificationError` if the protocol exhibits neither — which
+    would refute Theorem 4 and therefore indicates a bug in the model.
+    """
+    _check_deterministic(protocol)
+    graphs = _graphs_per_input(protocol, values, max_states)
+
+    # First: safety certificates (cheapest, and Lemma 2 presumes safety).
+    for inputs, graph in graphs.items():
+        report = _safety_certificate(protocol, inputs, graph)
+        if report is not None:
+            return report
+
+    # Safety holds: Lemma 2 promises a bivalent (or nullvalent) initial
+    # configuration among the mixed-input assignments.
+    for inputs, graph in graphs.items():
+        vmap = classify(graph)
+        if vmap.valency(graph.roots[0]) is Valency.UNIVALENT:
+            continue
+        lasso = _bivalence_lasso(protocol, graph, vmap)
+        if lasso is None:
+            # Lemma 3 needs termination to hold; this protocol fails
+            # termination in a way the general cycle search exposes.
+            break
+        prefix, cycle = lasso
+        pids_in_cycle = set(cycle)
+        return ImpossibilityReport(
+            protocol_name=protocol.name,
+            inputs=inputs,
+            lasso_prefix=prefix,
+            lasso_cycle=cycle,
+            fair=pids_in_cycle == set(range(protocol.n_processes)),
+            states_explored=sum(g.n_states for g in graphs.values()),
+        )
+
+    # Fallback: a univalent configuration can still loop forever (the
+    # single reachable value need not be reached on *every* schedule).
+    # On a finite graph, termination is equivalent to acyclicity of the
+    # reachable configuration graph: any reachable cycle is an infinite
+    # schedule along which its participants never decide.
+    for inputs, graph in graphs.items():
+        lasso = _any_cycle(graph)
+        if lasso is not None:
+            prefix, cycle = lasso
+            return ImpossibilityReport(
+                protocol_name=protocol.name,
+                inputs=inputs,
+                lasso_prefix=prefix,
+                lasso_cycle=cycle,
+                fair=set(cycle) == set(range(protocol.n_processes)),
+                states_explored=sum(g.n_states for g in graphs.values()),
+            )
+
+    raise VerificationError(
+        f"{protocol.name}: consistent, nontrivial, and every schedule "
+        "decides — this contradicts Theorem 4; check the protocol "
+        "encoding"
+    )
+
+
+def _any_cycle(
+    graph: ConfigGraph,
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Find any reachable cycle as a (prefix, cycle) schedule pair."""
+    root = graph.roots[0]
+    color: Dict[Configuration, int] = {}  # 1 = on stack, 2 = done
+    stack: List[Tuple[Configuration, int]] = []
+
+    def dfs(config: Configuration):
+        color[config] = 1
+        for s in graph.edges.get(config, ()):
+            if color.get(s.config, 0) == 1:
+                # Found a back edge: reconstruct prefix + cycle.
+                schedule = [pid for (_c, pid) in stack] + [s.pid]
+                idx = next(
+                    (i for i, (c, _pid) in enumerate(stack) if c == s.config),
+                    len(stack),  # self-loop on the current configuration
+                )
+                return tuple(schedule[:idx]), tuple(schedule[idx:])
+            if color.get(s.config, 0) == 0:
+                stack.append((config, s.pid))
+                found = dfs(s.config)
+                stack.pop()
+                if found is not None:
+                    return found
+        color[config] = 2
+        return None
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, graph.n_states + 100))
+    try:
+        return dfs(root)
+    finally:
+        sys.setrecursionlimit(old_limit)

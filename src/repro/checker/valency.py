@@ -1,0 +1,102 @@
+"""Valency classification (Section 3, Lemmas 1-2).
+
+A configuration is *bivalent* if two different decision values are
+reachable from it (over all schedules), *univalent* if exactly one is,
+and — a case the paper does not need to name but the checker meets in
+practice — *nullvalent* if no decision is reachable at all (e.g. the
+obstinate protocol locked in eternal disagreement).
+
+On a complete configuration graph the classification is computed by a
+backward fixpoint: seed every configuration with the values its own
+decided processors hold, then propagate reachable-value sets against
+the edge direction until stable.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, Hashable, Optional
+
+from repro.checker.explorer import ConfigGraph
+from repro.errors import ExplorationLimitError
+from repro.sim.config import Configuration
+
+
+class Valency(enum.Enum):
+    """The three valency classes of a configuration."""
+
+    BIVALENT = "bivalent"
+    UNIVALENT = "univalent"
+    NULLVALENT = "nullvalent"
+
+
+def decision_values_of(graph: ConfigGraph) -> Dict[Configuration, FrozenSet[Hashable]]:
+    """For every configuration, the set of decision values reachable
+    from it under some schedule.
+
+    Requires a complete graph: on a truncated graph the sets would be
+    under-approximations and a "univalent" answer could be wrong.
+    """
+    if not graph.complete:
+        raise ExplorationLimitError(
+            "valency needs the complete reachable graph; increase the "
+            "exploration budget or use a finite-state protocol",
+            states_explored=graph.n_states,
+        )
+    protocol = graph.protocol
+
+    # Reverse adjacency for backward propagation.
+    parents: Dict[Configuration, list] = collections.defaultdict(list)
+    for config, succ in graph.edges.items():
+        for s in succ:
+            parents[s.config].append(config)
+
+    values: Dict[Configuration, set] = {}
+    work = collections.deque()
+    for config in graph.depth_of:
+        own = frozenset(config.decisions(protocol).values())
+        values[config] = set(own)
+        if own:
+            work.append(config)
+
+    while work:
+        config = work.popleft()
+        for parent in parents.get(config, ()):
+            before = len(values[parent])
+            values[parent] |= values[config]
+            if len(values[parent]) != before:
+                work.append(parent)
+
+    return {c: frozenset(v) for c, v in values.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class ValencyMap:
+    """Valency classification of every configuration in a graph."""
+
+    values: Dict[Configuration, FrozenSet[Hashable]]
+
+    def valency(self, config: Configuration) -> Valency:
+        n = len(self.values[config])
+        if n >= 2:
+            return Valency.BIVALENT
+        if n == 1:
+            return Valency.UNIVALENT
+        return Valency.NULLVALENT
+
+    def value(self, config: Configuration) -> Optional[Hashable]:
+        """The single reachable value of a univalent configuration."""
+        vals = self.values[config]
+        if len(vals) == 1:
+            return next(iter(vals))
+        return None
+
+    def count(self, valency: Valency) -> int:
+        return sum(1 for c in self.values if self.valency(c) is valency)
+
+
+def classify(graph: ConfigGraph) -> ValencyMap:
+    """Classify every configuration of a complete graph."""
+    return ValencyMap(values=decision_values_of(graph))

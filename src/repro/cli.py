@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands map one-to-one onto the library's main entry points:
+
+* ``solve``          — run one consensus instance and print the outcome;
+* ``verify``         — exhaustive safety verification over all
+  schedules × coin outcomes;
+* ``impossibility``  — run the Theorem 4 pipeline over the
+  deterministic zoo (or one member) and print the certificates;
+* ``game``           — solve the two-processor scheduling game exactly
+  and print worst-case expected costs;
+* ``tower``          — grade the Lamport register construction tower.
+
+Examples::
+
+    python -m repro solve --protocol three-bounded --inputs a,b,b --trace
+    python -m repro verify --protocol two --inputs a,b
+    python -m repro impossibility
+    python -m repro game --cost processor:0
+    python -m repro tower --seeds 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _build_protocol(name: str, n_inputs: int):
+    from repro.core import (
+        NaiveProtocol,
+        NProcessProtocol,
+        ThreeBoundedProtocol,
+        ThreeUnboundedProtocol,
+        TwoProcessProtocol,
+    )
+
+    if name == "two":
+        return TwoProcessProtocol()
+    if name == "three-unbounded":
+        return ThreeUnboundedProtocol()
+    if name == "three-bounded":
+        return ThreeBoundedProtocol()
+    if name == "n":
+        return NProcessProtocol(n_inputs)
+    if name == "naive":
+        return NaiveProtocol(n_inputs)
+    raise SystemExit(f"unknown protocol {name!r}")
+
+
+def _build_scheduler(name: str, seed: int):
+    from repro.sched import (
+        LaggardFreezer,
+        ObliviousScheduler,
+        RandomScheduler,
+        RoundRobinScheduler,
+        SplitVoteAdversary,
+    )
+    from repro.sim.rng import ReplayableRng
+
+    rng = ReplayableRng(seed).child("cli-sched")
+    table = {
+        "random": lambda: RandomScheduler(rng),
+        "round-robin": lambda: RoundRobinScheduler(),
+        "oblivious": lambda: ObliviousScheduler(rng),
+        "split-vote": lambda: SplitVoteAdversary(),
+        "laggard-freezer": lambda: LaggardFreezer(),
+    }
+    if name not in table:
+        raise SystemExit(f"unknown scheduler {name!r}")
+    return table[name]()
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.consensus import solve
+
+    inputs = args.inputs.split(",")
+    protocol = _build_protocol(args.protocol, len(inputs))
+    if protocol.n_processes != len(inputs):
+        raise SystemExit(
+            f"{args.protocol} needs {protocol.n_processes} inputs, "
+            f"got {len(inputs)}"
+        )
+    scheduler = _build_scheduler(args.scheduler, args.seed)
+    outcome = solve(protocol, inputs, scheduler=scheduler, seed=args.seed,
+                    max_steps=args.max_steps, record_trace=args.trace)
+    print(f"protocol:   {protocol.name}")
+    print(f"inputs:     {inputs}")
+    print(f"scheduler:  {args.scheduler} (seed {args.seed})")
+    print(f"agreed on:  {outcome.value!r}")
+    print(f"decisions:  {outcome.decisions}")
+    print(f"steps:      {outcome.steps} total, "
+          f"{outcome.steps_per_processor} per processor")
+    print(f"consistent: {outcome.consistent}   "
+          f"nontrivial: {outcome.nontrivial}")
+    if args.trace and outcome.trace is not None:
+        print("\ntrace:")
+        if args.diagram:
+            from repro.sim.viz import render_space_time
+
+            print(render_space_time(outcome.trace, protocol.n_processes,
+                                    limit=args.trace_limit))
+        else:
+            print(outcome.trace.render(limit=args.trace_limit))
+    return 0 if outcome.consistent and outcome.nontrivial else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.checker import verify_safety
+
+    inputs = args.inputs.split(",")
+    protocol = _build_protocol(args.protocol, len(inputs))
+    report = verify_safety(protocol, inputs, max_depth=args.depth,
+                           max_states=args.max_states)
+    print(f"protocol: {protocol.name}, inputs {inputs}")
+    print(report.guarantee())
+    if not report.ok:
+        print(f"witness configuration: {report.witness}")
+    return 0 if report.ok else 1
+
+
+def _cmd_impossibility(args: argparse.Namespace) -> int:
+    from repro.checker import analyze_deterministic
+    from repro.core import deterministic as det
+
+    if args.protocol == "all":
+        protocols = det.zoo()
+    else:
+        factory = getattr(det, args.protocol.replace("-", "_"), None)
+        if factory is None:
+            raise SystemExit(f"unknown zoo member {args.protocol!r}")
+        protocols = (factory(),)
+    for p in protocols:
+        print(analyze_deterministic(p).render())
+        print()
+    return 0
+
+
+def _cmd_game(args: argparse.Namespace) -> int:
+    from repro.core import TwoProcessProtocol
+    from repro.sched.optimal import solve_game
+
+    inputs = tuple(args.inputs.split(","))
+    sol = solve_game(TwoProcessProtocol(), inputs, cost_model=args.cost)
+    print(f"two-processor protocol, inputs {inputs}")
+    print(f"cost model:              {sol.cost_model}")
+    print(f"worst-case expected cost {sol.value:.6f}")
+    print(f"configurations:          {len(sol.values)}")
+    print(f"value-iteration sweeps:  {sol.iterations}")
+    print("(the paper's corollary bound is 10 per processor — "
+          "the optimal adversary achieves it exactly)")
+    return 0
+
+
+def _cmd_tower(args: argparse.Namespace) -> int:
+    from repro.registers import run_register_workload
+
+    levels = (
+        ("safe-cell", {}),
+        ("regular-cell", {}),
+        ("atomic-cell", {}),
+        ("regular-from-safe", {}),
+        ("unary-regular", {}),
+        ("srsw-atomic", {"n_readers": 1}),
+        ("mrsw-atomic", {"n_readers": 3, "n_reads": 6}),
+    )
+    order = {"broken": 0, "safe": 1, "regular": 2, "atomic": 3}
+    print(f"{'level':<20} {'worst grade':<12} {'events/op':>10}")
+    for level, kw in levels:
+        worst, cost = "atomic", 0.0
+        for seed in range(args.seeds):
+            r = run_register_workload(level, seed=seed, **kw)
+            if order[r.grade()] < order[worst]:
+                worst = r.grade()
+            cost += r.events_per_op
+        print(f"{level:<20} {worst:<12} {cost / args.seeds:>10.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Chor-Israeli-Li (PODC 1987) reproduction: "
+                     "randomized wait-free consensus with atomic "
+                     "read/write registers."),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run one consensus instance")
+    p.add_argument("--protocol", default="two",
+                   choices=["two", "three-unbounded", "three-bounded",
+                            "n", "naive"])
+    p.add_argument("--inputs", default="a,b",
+                   help="comma-separated input values, one per processor")
+    p.add_argument("--scheduler", default="random",
+                   choices=["random", "round-robin", "oblivious",
+                            "split-vote", "laggard-freezer"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-steps", type=int, default=100_000)
+    p.add_argument("--trace", action="store_true")
+    p.add_argument("--diagram", action="store_true",
+                   help="render the trace as a space-time diagram")
+    p.add_argument("--trace-limit", type=int, default=40)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("verify", help="exhaustive safety verification")
+    p.add_argument("--protocol", default="two",
+                   choices=["two", "three-unbounded", "three-bounded",
+                            "n", "naive"])
+    p.add_argument("--inputs", default="a,b")
+    p.add_argument("--depth", type=int, default=None,
+                   help="depth budget (omit for full exploration)")
+    p.add_argument("--max-states", type=int, default=500_000)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("impossibility",
+                       help="Theorem 4 certificates for deterministic "
+                            "protocols")
+    p.add_argument("--protocol", default="all",
+                   help="zoo member (obstinate, mirror, priority, "
+                        "greedy-min) or 'all'")
+    p.set_defaults(func=_cmd_impossibility)
+
+    p = sub.add_parser("game",
+                       help="solve the two-processor scheduling game")
+    p.add_argument("--inputs", default="a,b")
+    p.add_argument("--cost", default="processor:0",
+                   help="'processor:<pid>' or 'total'")
+    p.set_defaults(func=_cmd_game)
+
+    p = sub.add_parser("tower", help="grade the register constructions")
+    p.add_argument("--seeds", type=int, default=15)
+    p.set_defaults(func=_cmd_tower)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

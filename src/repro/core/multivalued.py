@@ -1,0 +1,251 @@
+"""Theorem 5: k-valued coordination from binary coordination.
+
+    "Let CP₂ be a coordination protocol for a system with n processors
+    with two decision values.  A coordination protocol CP_k for n
+    processors with an arbitrary number k of decision values can be
+    constructed using CP₂.  The complexity of CP_k is log k times larger
+    than the complexity of CP₂."
+
+The construction implemented here agrees bit by bit.  Values are
+identified with indices 0..k−1 and encoded in W = ⌈log₂ k⌉ bits.  Each
+processor:
+
+1. *announces* its current candidate value in a shared value register,
+2. for each bit position j = 0..W−1, runs an embedded binary instance
+   of the base protocol, proposing bit j of its candidate,
+3. if the decided bit differs from its candidate's bit, *scans* the
+   other value registers for a candidate whose bits 0..j match every
+   decided bit so far, adopts it, re-announces, and proceeds to the
+   next bit.
+
+Why a matching candidate is always visible during a scan: the decided
+bit is the proposal of some processor active in that instance
+(nontriviality of the base protocol), that processor announced its
+candidate *before* taking any step of the instance, and announcements
+only ever change to candidates matching strictly longer decided
+prefixes.  Hence from the moment bit j is decided, some value register
+permanently matches b₀..b_j.
+
+Consistency and nontriviality are inherited: all processors decide the
+same bit per instance (base consistency), the final bit string is the
+index of some announced candidate (the prefix-adoption invariant), and
+announced candidates trace back to inputs of active processors.
+
+The step complexity is W × (base cost) plus O(W·n) announce/scan
+steps — the "log k times larger" shape benchmark E6 measures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Hashable, Optional, Sequence, Tuple
+
+from repro.core.protocol import ConsensusProtocol
+from repro.errors import ProtocolError
+from repro.sim.ops import BOTTOM, Op, ReadOp, WriteOp
+from repro.sim.process import Branch, RegisterSpec, deterministic
+
+
+def bit_width(k: int) -> int:
+    """⌈log₂ k⌉, the number of binary instances Theorem 5 needs."""
+    if k < 2:
+        raise ValueError("need at least two values")
+    return max(1, (k - 1).bit_length())
+
+
+@dataclasses.dataclass(frozen=True)
+class MVState:
+    """Composed state: which round we are in and the embedded base state.
+
+    ``pc``:
+        "announce"    — about to publish the candidate value;
+        "base"        — running the round's embedded binary instance
+                        (``sub`` is the base automaton's state);
+        "scan"        — looking for a candidate matching the decided
+                        prefix (``scan_idx`` walks the other
+                        processors);
+        "reannounce"  — about to publish an adopted candidate;
+        "done"        — decided.
+    ``decided_bits`` are the outcomes of the completed instances.
+    """
+
+    pc: str
+    round: int
+    candidate: Hashable
+    decided_bits: Tuple[int, ...] = ()
+    sub: Hashable = None
+    scan_idx: int = 0
+    output: Optional[Hashable] = None
+
+
+class MultiValuedProtocol(ConsensusProtocol):
+    """CP_k built from a binary base protocol per Theorem 5.
+
+    Parameters
+    ----------
+    base_factory:
+        Zero-argument callable returning a *binary* ConsensusProtocol
+        with values ``(0, 1)`` for the same number of processors
+        (e.g. ``lambda: TwoProcessProtocol(values=(0, 1))`` or
+        ``lambda: NProcessProtocol(5, values=(0, 1))``).
+    values:
+        The k-valued input domain (k ≥ 2, arbitrary hashables).
+    """
+
+    def __init__(
+        self,
+        base_factory: Callable[[], ConsensusProtocol],
+        values: Sequence[Hashable],
+    ) -> None:
+        super().__init__(values)
+        self._base = base_factory()
+        if self._base.values is None or set(self._base.values) != {0, 1}:
+            raise ValueError(
+                "base protocol must be binary with values (0, 1); got "
+                f"{self._base.values!r}"
+            )
+        self.n_processes = self._base.n_processes
+        self._width = bit_width(len(self.values))
+        self._index = {value: i for i, value in enumerate(self.values)}
+
+    @property
+    def width(self) -> int:
+        """Number of embedded binary instances (⌈log₂ k⌉)."""
+        return self._width
+
+    # ------------------------------------------------------------------
+    # Bit plumbing
+    # ------------------------------------------------------------------
+
+    def _bit(self, value: Hashable, j: int) -> int:
+        return (self._index[value] >> j) & 1
+
+    def _matches_prefix(self, value: Hashable, bits: Tuple[int, ...]) -> bool:
+        if value is BOTTOM or value not in self._index:
+            return False
+        return all(self._bit(value, j) == b for j, b in enumerate(bits))
+
+    # ------------------------------------------------------------------
+    # Register wiring: W renamed copies of the base layout + value regs
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _instance_prefix(j: int) -> str:
+        return f"bin{j}."
+
+    def registers(self) -> Tuple[RegisterSpec, ...]:
+        specs = []
+        for j in range(self._width):
+            prefix = self._instance_prefix(j)
+            for spec in self._base.registers():
+                specs.append(dataclasses.replace(spec, name=prefix + spec.name))
+        n = self.n_processes
+        for i in range(n):
+            specs.append(
+                RegisterSpec(
+                    name=f"val{i}",
+                    writers=(i,),
+                    readers=tuple(x for x in range(n) if x != i),
+                    initial=BOTTOM,
+                )
+            )
+        return tuple(specs)
+
+    def _wrap_op(self, op: Op, j: int) -> Op:
+        prefix = self._instance_prefix(j)
+        if isinstance(op, ReadOp):
+            return ReadOp(prefix + op.register)
+        return WriteOp(prefix + op.register, op.value)
+
+    def _unwrap_op(self, op: Op, j: int) -> Op:
+        prefix = self._instance_prefix(j)
+        assert op.register.startswith(prefix)
+        bare = op.register[len(prefix):]
+        if isinstance(op, ReadOp):
+            return ReadOp(bare)
+        return WriteOp(bare, op.value)
+
+    def _others(self, pid: int) -> Tuple[int, ...]:
+        return tuple(x for x in range(self.n_processes) if x != pid)
+
+    # ------------------------------------------------------------------
+    # Automaton interface
+    # ------------------------------------------------------------------
+
+    def initial_state(self, pid: int, input_value: Hashable) -> MVState:
+        self.check_input(input_value)
+        return MVState(pc="announce", round=0, candidate=input_value)
+
+    def branches(self, pid: int, state: MVState) -> Sequence[Branch]:
+        if state.pc in ("announce", "reannounce"):
+            return deterministic(WriteOp(f"val{pid}", state.candidate))
+        if state.pc == "base":
+            subs = self._base.branches(pid, state.sub)
+            return tuple(
+                Branch(b.probability, self._wrap_op(b.op, state.round))
+                for b in subs
+            )
+        if state.pc == "scan":
+            target = self._others(pid)[state.scan_idx]
+            return deterministic(ReadOp(f"val{target}"))
+        raise ProtocolError(f"branches() on terminal state {state!r}")
+
+    def _enter_round(self, pid: int, state: MVState) -> MVState:
+        """Start instance ``state.round`` (or finish if all bits decided)."""
+        sub = self._base.initial_state(
+            pid, self._bit(state.candidate, state.round)
+        )
+        return dataclasses.replace(state, pc="base", sub=sub)
+
+    def _after_bit(self, pid: int, state: MVState, bit: int) -> MVState:
+        """Handle a decided instance: advance, scan, or finish."""
+        bits = state.decided_bits + (bit,)
+        state = dataclasses.replace(state, decided_bits=bits, sub=None)
+        if self._bit(state.candidate, state.round) != bit:
+            # Our candidate is dead: find one matching the new prefix.
+            return dataclasses.replace(state, pc="scan", scan_idx=0)
+        return self._next_round(pid, state)
+
+    def _next_round(self, pid: int, state: MVState) -> MVState:
+        nxt = state.round + 1
+        if nxt == self._width:
+            return dataclasses.replace(
+                state, pc="done", round=nxt, output=state.candidate
+            )
+        return self._enter_round(pid, dataclasses.replace(state, round=nxt))
+
+    def observe(self, pid: int, state: MVState, op: Op,
+                result: Hashable) -> MVState:
+        if state.pc == "announce":
+            return self._enter_round(pid, state)
+        if state.pc == "reannounce":
+            return self._next_round(pid, state)
+        if state.pc == "base":
+            bare = self._unwrap_op(op, state.round)
+            sub = self._base.observe(pid, state.sub, bare, result)
+            decided = self._base.output(pid, sub)
+            if decided is None:
+                return dataclasses.replace(state, sub=sub)
+            return self._after_bit(pid, state, decided)
+        if state.pc == "scan":
+            if self._matches_prefix(result, state.decided_bits):
+                return dataclasses.replace(
+                    state, pc="reannounce", candidate=result, scan_idx=0
+                )
+            # Keep scanning, cycling through the other processors; the
+            # matching announcement is already stable (see module doc),
+            # so the cycle terminates — usually within one pass.
+            nxt = (state.scan_idx + 1) % (self.n_processes - 1)
+            return dataclasses.replace(state, scan_idx=nxt)
+        raise ProtocolError(f"observe() on terminal state {state!r}")
+
+    def output(self, pid: int, state: MVState) -> Optional[Hashable]:
+        return state.output
+
+    def describe_state(self, pid: int, state: MVState) -> str:
+        if state.pc == "done":
+            return f"P{pid}: decided {state.output!r}"
+        return (
+            f"P{pid}: round={state.round} pc={state.pc} "
+            f"candidate={state.candidate!r} bits={state.decided_bits}"
+        )

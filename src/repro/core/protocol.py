@@ -1,0 +1,66 @@
+"""Common base class for coordination protocols.
+
+A coordination protocol (paper, Section 2) is an automaton family that
+must satisfy:
+
+* **Consistency** — no reachable configuration carries two different
+  decision values,
+* **Nontriviality** — every decision value is the input of some
+  processor activated in the run,
+* **Termination** — deterministic or randomized (probability of not
+  having decided after k activations vanishes with k).
+
+The base class adds input-domain bookkeeping on top of
+:class:`repro.sim.process.Automaton`; the properties themselves are
+checked externally by :mod:`repro.checker.properties` — a protocol does
+not get to grade its own homework.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.sim.process import Automaton
+
+
+class ConsensusProtocol(Automaton):
+    """An :class:`Automaton` that solves (or claims to solve) coordination.
+
+    ``values`` is the input domain V (cardinality ≥ 2 per the paper;
+    protocols supporting arbitrary domains may pass ``None``).
+    """
+
+    def __init__(self, values: Optional[Sequence[Hashable]] = None) -> None:
+        if values is not None:
+            values = tuple(values)
+            if len(values) < 2:
+                raise ValueError(
+                    "the coordination problem needs |V| >= 2 (it is trivial "
+                    "otherwise, as the paper notes in Section 2)"
+                )
+            if len(set(values)) != len(values):
+                raise ValueError("input domain contains duplicates")
+        self._values: Optional[Tuple[Hashable, ...]] = values
+
+    @property
+    def values(self) -> Optional[Tuple[Hashable, ...]]:
+        """The input domain V, or ``None`` for domain-agnostic protocols."""
+        return self._values
+
+    def check_input(self, value: Hashable) -> Hashable:
+        """Validate one input value against the domain."""
+        if self._values is not None and value not in self._values:
+            raise ValueError(
+                f"input {value!r} outside the protocol domain {self._values}"
+            )
+        return value
+
+    @property
+    def is_randomized(self) -> bool:
+        """Whether any state has more than one branch.
+
+        Default ``True`` (the interesting protocols here are randomized);
+        deterministic protocols override this so the impossibility
+        checker can refuse randomized inputs.
+        """
+        return True

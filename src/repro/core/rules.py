@@ -1,0 +1,152 @@
+"""Shared decision rules of the pref/num protocol family (Figure 2).
+
+Both the three-processor unbounded protocol (Section 5) and its
+n-processor generalization drive each phase through the same three
+questions, asked about the multiset of register values the processor
+just read (its own register included):
+
+1. *Is a decision possible?*  Yes when all prefs agree, or when the
+   leading processors (maximal ``num``) agree among themselves and
+   every other processor trails by at least two.
+2. *What would my next register value be?*  Adopt the leaders' pref if
+   they are unanimous (else keep mine) and increment my ``num``.
+3. *Do I actually install it?*  Only with probability 1/2 — the other
+   half of the time the old value is rewritten.  (That coin lives in the
+   protocol's ``branches``, not here.)
+
+Keeping the rules in one place makes the n-process protocol a
+three-line specialization and gives the tests a single target for
+property checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.sim.ops import BOTTOM
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefNum:
+    """Content of one communication register: a pref and a num field.
+
+    ``pref`` is ⊥ until the owner's initial write; ``num`` starts at 0
+    and grows without bound (with exponentially vanishing probability,
+    Theorem 9).
+    """
+
+    pref: Hashable = BOTTOM
+    num: int = 0
+
+    def __repr__(self) -> str:
+        return f"[{self.pref!r},{self.num}]"
+
+
+#: The register value before the owner's initial write.
+INITIAL = PrefNum(pref=BOTTOM, num=0)
+
+
+def max_num(regs: Sequence[PrefNum]) -> int:
+    """The maximal num field over a collection of register values."""
+    return max(reg.num for reg in regs)
+
+
+def leading(regs: Sequence[PrefNum]) -> Tuple[PrefNum, ...]:
+    """The register values of the leading processor(s)."""
+    top = max_num(regs)
+    return tuple(reg for reg in regs if reg.num == top)
+
+
+def unanimous_pref(regs: Sequence[PrefNum]) -> Optional[Hashable]:
+    """The common pref of ``regs`` if they agree (⊥ counts as a value)."""
+    prefs = {reg.pref for reg in regs}
+    if len(prefs) == 1:
+        return next(iter(prefs))
+    return None
+
+
+def decision(own: PrefNum, others: Sequence[PrefNum]) -> Optional[Hashable]:
+    """The decision test; returns the decided value or ``None``.
+
+    Case A: the pref of *all* registers is the same.  (The caller's own
+    pref is never ⊥ after its initial write, so a unanimous pref is a
+    real input value.)
+
+    Case B: the caller is itself among the leading processors, the
+    leading prefs agree, and every non-leading register's num is
+    < maxnum − 1 (i.e. trails by ≥ 2).
+
+    The own-leadership requirement in case B is a deliberate deviation
+    from the most literal reading of the extended abstract's Figure 2,
+    which lets any processor decide upon *observing* unanimous leaders
+    two ahead.  That literal rule is inconsistent: a phase's reads
+    happen one register at a time, so a trailing processor can decide
+    for a leader using a stale view of the other laggard while that
+    laggard races to a two-lead of its own with the opposite pref —
+    our model checker and Monte-Carlo harness both produce the
+    violating schedule (see EXPERIMENTS.md, finding F1).  Requiring the
+    decider to be two ahead of everything it saw restores the standard
+    Chor-Israeli-Li argument (this is also how the protocol is stated
+    in the journal version and in later surveys), and trailing
+    processors still terminate: they adopt the frozen winner's pref
+    while catching up and decide through case A.
+    """
+    regs = (own,) + tuple(others)
+    common = unanimous_pref(regs)
+    if common is not None and common is not BOTTOM:
+        return common
+
+    top = max_num(regs)
+    if own.num == top:
+        lead = [reg for reg in regs if reg.num == top]
+        rest = [reg for reg in regs if reg.num != top]
+        lead_pref = unanimous_pref(lead)
+        if lead_pref is not None and lead_pref is not BOTTOM:
+            if all(reg.num < top - 1 for reg in rest):
+                return lead_pref
+    return None
+
+
+def decision_literal_figure2(own: PrefNum,
+                             others: Sequence[PrefNum]) -> Optional[Hashable]:
+    """The *literal* Figure 2 decision rule — kept because it is broken.
+
+    This is the extended abstract's wording taken at face value: decide
+    whenever the observed leaders agree and everyone else trails by two,
+    whether or not the observer is itself leading.  Reproduction finding
+    F1 (see EXPERIMENTS.md): this rule violates consistency — a phase's
+    reads are not an atomic snapshot, so a trailing processor can decide
+    for the leaders off a stale view of the other laggard while that
+    laggard races to an opposite-pref lead of its own.  The library's
+    protocols use :func:`decision`; this variant exists so the test
+    suite and benchmark E3 can regenerate the violating schedule.
+    """
+    regs = (own,) + tuple(others)
+    common = unanimous_pref(regs)
+    if common is not None and common is not BOTTOM:
+        return common
+
+    top = max_num(regs)
+    lead = [reg for reg in regs if reg.num == top]
+    rest = [reg for reg in regs if reg.num != top]
+    lead_pref = unanimous_pref(lead)
+    if lead_pref is not None and lead_pref is not BOTTOM:
+        if all(reg.num < top - 1 for reg in rest):
+            return lead_pref
+    return None
+
+
+def candidate(own: PrefNum, others: Sequence[PrefNum]) -> PrefNum:
+    """Figure 2's heads-path new register value.
+
+    If all leading processors share a pref, adopt it; otherwise keep
+    one's own pref.  Either way, advance num by one.
+    """
+    regs = (own,) + tuple(others)
+    lead_pref = unanimous_pref(leading(regs))
+    if lead_pref is not None and lead_pref is not BOTTOM:
+        new_pref = lead_pref
+    else:
+        new_pref = own.pref
+    return PrefNum(pref=new_pref, num=own.num + 1)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish model violations (bugs in a protocol under
+test, which are *interesting* results) from misuse of the library API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation violated the automaton contract.
+
+    Examples: returning a non-hashable state, emitting an empty branch
+    list, or emitting branch probabilities that do not sum to one.
+    """
+
+
+class AccessViolation(ReproError):
+    """A processor performed a register operation it is not entitled to.
+
+    The paper's model associates every shared register with a set of
+    readers and a set of writers (Section 2).  The kernel enforces those
+    sets; violating them indicates a mis-wired protocol.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state.
+
+    Examples: scheduling a halted processor, stepping a finished run, or
+    a scheduler returning a processor id outside the system.
+    """
+
+
+class VerificationError(ReproError):
+    """A correctness property of a protocol was found to be violated.
+
+    Raised by the checker package when consistency or nontriviality fails
+    on a trace or during exhaustive state exploration.  For a protocol
+    from the paper this is a reproduction failure; for a deliberately
+    broken baseline it is the expected outcome.
+    """
+
+
+class ExplorationLimitError(ReproError):
+    """State-space exploration exceeded its configured budget.
+
+    Carries partial results so callers can distinguish "property verified
+    up to depth d" from "property verified on the full reachable space".
+    """
+
+    def __init__(self, message: str, states_explored: int = 0) -> None:
+        super().__init__(message)
+        self.states_explored = states_explored
+
+
+class RegisterSemanticsError(ReproError):
+    """An operation violated the interval-time register model.
+
+    Raised by the ``repro.registers`` substrate, e.g. when two operations
+    of the same sequential process overlap in time.
+    """

@@ -1,0 +1,52 @@
+"""Message-passing substrate and the Ben-Or baseline.
+
+The paper positions its shared-register model against the classical
+asynchronous *message-passing* model (its references [1] Ben-Or, [2]
+Bracha–Toueg, [4] FLP): randomized agreement there is possible only
+when fewer than half the processors may fail, whereas the register
+protocols tolerate t = n − 1 — "Our protocols, on the other hand,
+reach such agreement even in the case of t = n−1 possible crashes."
+
+To measure that contrast rather than assert it, this subpackage
+implements the other side:
+
+* :mod:`repro.msgpass.net` — an asynchronous message-passing machine:
+  processes are message-driven automata, an adversary with complete
+  knowledge picks which in-flight message is delivered next (and may
+  delay any message forever — pure asynchrony), fail-stop crashes;
+* :mod:`repro.msgpass.benor` — Ben-Or's randomized binary consensus
+  (the paper's reference [1]): two-phase rounds, majority suggestion,
+  t+1-witness decision, coin flips on confusion;
+* :mod:`repro.msgpass.adversaries` — delivery schedulers, including
+  the partition adversary that exhibits the t ≥ n/2 impossibility.
+
+Benchmark E10 runs Ben-Or at t < n/2 (correct, terminating) and at
+t ≥ n/2 (the partition adversary splits the system into two deciding
+halves), next to the register protocols at t = n − 1.
+"""
+
+from repro.msgpass.net import (
+    Message,
+    MPAutomaton,
+    MPRunResult,
+    MPSimulation,
+)
+from repro.msgpass.benor import BenOrProtocol
+from repro.msgpass.adversaries import (
+    DeliveryScheduler,
+    FifoDelivery,
+    PartitionAdversary,
+    RandomDelivery,
+)
+
+__all__ = [
+    "Message",
+    "MPAutomaton",
+    "MPRunResult",
+    "MPSimulation",
+    "BenOrProtocol",
+    "DeliveryScheduler",
+    "FifoDelivery",
+    "PartitionAdversary",
+    "RandomDelivery",
+]

@@ -1,0 +1,116 @@
+"""Delivery schedulers for the message-passing machine.
+
+A delivery scheduler's ``choose(sim)`` returns one of:
+
+* a :class:`~repro.msgpass.net.Message` from ``sim.deliverable()`` —
+  deliver it now;
+* an ``int`` — fail-stop that process (crash injection);
+* ``None`` — the adversary rests (no message it is willing to deliver);
+  the run ends as *stuck*, which in a fully asynchronous system is a
+  legal fate for messages the adversary delays forever.
+
+The star of the family is :class:`PartitionAdversary`: it delivers
+messages only within declared groups, holding all cross-group traffic
+forever.  With waiting threshold n − t and t ≥ n/2 each half of an even
+split can satisfy its quorums alone, and Ben-Or's halves decide their
+own inputs — the Bracha–Toueg impossibility as an executable schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Union
+
+from repro.msgpass.net import Message, MPSimulation
+from repro.sim.rng import ReplayableRng
+
+
+Choice = Union[Message, int, None]
+
+
+class DeliveryScheduler(abc.ABC):
+    """Base class for delivery adversaries."""
+
+    @abc.abstractmethod
+    def choose(self, sim: MPSimulation) -> Choice:
+        """Pick the next delivery / crash, or ``None`` to rest."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class _CrashList:
+    """Mixin helper: crash a fixed set of processes before anything else."""
+
+    def __init__(self, crash: Sequence[int] = ()) -> None:
+        self._to_crash: List[int] = list(crash)
+
+    def pending_crash(self, sim: MPSimulation) -> Optional[int]:
+        while self._to_crash:
+            pid = self._to_crash.pop(0)
+            if pid not in sim.crashed:
+                return pid
+        return None
+
+
+class RandomDelivery(DeliveryScheduler, _CrashList):
+    """Uniformly random delivery order (a fair-ish network)."""
+
+    def __init__(self, rng: ReplayableRng,
+                 crash: Sequence[int] = ()) -> None:
+        _CrashList.__init__(self, crash)
+        self._rng = rng
+
+    def choose(self, sim: MPSimulation) -> Choice:
+        pid = self.pending_crash(sim)
+        if pid is not None:
+            return pid
+        deliverable = sim.deliverable()
+        if not deliverable:
+            return None
+        return self._rng.choice(deliverable)
+
+
+class FifoDelivery(DeliveryScheduler, _CrashList):
+    """Deliver in send order — the most benign network."""
+
+    def __init__(self, crash: Sequence[int] = ()) -> None:
+        _CrashList.__init__(self, crash)
+
+    def choose(self, sim: MPSimulation) -> Choice:
+        pid = self.pending_crash(sim)
+        if pid is not None:
+            return pid
+        deliverable = sim.deliverable()
+        if not deliverable:
+            return None
+        return min(deliverable, key=lambda m: m.uid)
+
+
+class PartitionAdversary(DeliveryScheduler):
+    """Deliver only within groups; cross-group mail is delayed forever.
+
+    ``groups`` is a list of disjoint pid lists.  Messages whose sender
+    and destination lie in the same group are delivered (round-robin by
+    uid); everything else waits until the heat death of the run.  No
+    process is crashed — the damage is pure asynchrony.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[int]]) -> None:
+        flat = [pid for g in groups for pid in g]
+        if len(set(flat)) != len(flat):
+            raise ValueError("groups must be disjoint")
+        self._group_of = {pid: i for i, g in enumerate(groups)
+                          for pid in g}
+
+    def _intra(self, message: Message) -> bool:
+        gs = self._group_of.get(message.sender)
+        gd = self._group_of.get(message.dest)
+        return gs is not None and gs == gd
+
+    def choose(self, sim: MPSimulation) -> Choice:
+        candidates = [m for m in sim.deliverable() if self._intra(m)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda m: m.uid)

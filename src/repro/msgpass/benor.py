@@ -1,0 +1,201 @@
+"""Ben-Or's randomized consensus (the paper's reference [1]).
+
+    M. Ben-Or, "Another Advantage of Free Choice: Completely
+    Asynchronous Agreement Protocols", PODC 1983.
+
+Binary consensus for n processes of which at most t may fail-stop,
+correct when **t < n/2** — the bound the paper contrasts its register
+protocols against.  Each round has two phases:
+
+* phase 1: broadcast ``(r, 1, x)``; collect n − t phase-1 votes; if
+  more than n/2 carry the same v, suggest w = v, else suggest ⊥;
+* phase 2: broadcast ``(r, 2, w)``; collect n − t suggestions;
+
+  - ≥ t + 1 copies of the same v ≠ ⊥  →  **decide v**,
+  - ≥ 1 copy of some v ≠ ⊥           →  adopt x = v,
+  - none                             →  x = fair coin;
+
+  then start round r + 1.
+
+Quorum intersection (two sets of n − t voters overlap in a correct
+process when t < n/2) makes phase-1 majorities unique, which gives
+consistency; the coin gives termination with probability 1 against any
+delivery adversary.  With t ≥ n/2 the waiting thresholds are
+satisfiable inside *disjoint* halves of the system, and the partition
+adversary of :mod:`repro.msgpass.adversaries` makes the two halves
+decide differently — the Bracha–Toueg impossibility exhibited as a run
+(benchmark E10).
+
+Deciders halt; to keep laggards live without them, a decider broadcasts
+a final ``("decide", v)`` message which any receiver adopts immediately
+(the standard reliable-relay finish).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.msgpass.net import MPAutomaton
+from repro.sim.rng import ReplayableRng
+
+
+#: A suggestion of "no majority seen" in phase 2.
+NO_MAJORITY = "⊥"
+
+
+@dataclasses.dataclass(frozen=True)
+class BenOrState:
+    """Process state: current estimate, position, and the vote inbox.
+
+    ``inbox`` holds (round, phase, sender, value) quadruples; senders
+    are unique per (round, phase) because correct processes vote once.
+    """
+
+    x: Hashable
+    round: int = 1
+    phase: int = 1
+    inbox: FrozenSet[Tuple[int, int, int, Hashable]] = frozenset()
+    output: Optional[Hashable] = None
+
+
+class BenOrProtocol(MPAutomaton):
+    """Ben-Or consensus with a configurable failure budget t.
+
+    ``t`` is the *assumed* maximum number of crashes (the waiting
+    threshold is n − t).  Correctness requires t < n/2; larger values
+    are accepted deliberately so the impossibility experiments can show
+    what goes wrong.
+    """
+
+    def __init__(self, n: int, t: int,
+                 values: Sequence[Hashable] = (0, 1),
+                 thresholds: str = "absolute") -> None:
+        if n < 2:
+            raise ValueError("need at least two processes")
+        if not 0 <= t < n:
+            raise ValueError("need 0 <= t < n")
+        if len(set(values)) != 2:
+            raise ValueError("Ben-Or is binary")
+        if thresholds not in ("absolute", "relative"):
+            raise ValueError(f"unknown thresholds mode {thresholds!r}")
+        self.n_processes = n
+        self.t = t
+        self.values = tuple(values)
+        # Bracha-Toueg says *no* protocol works at t >= n/2; Ben-Or's
+        # two possible failure shapes at that point are both exhibited:
+        #
+        # * "absolute" (the real protocol): majorities are counted out
+        #   of n and decisions need t+1 witnesses.  At t >= n/2 these
+        #   thresholds become unreachable from n-t votes, so a
+        #   partition (or even a unanimous run) simply never decides —
+        #   liveness dies, safety survives.
+        # * "relative" (the tempting broken generalization): majorities
+        #   and decisions are counted out of the n-t votes actually
+        #   collected.  Unsafe — measurably so even at t < n/2 (two
+        #   quorums can see different relative majorities), and under a
+        #   t >= n/2 partition two disjoint halves each satisfy their
+        #   own thresholds and decide their own inputs on every run.
+        #   Kept as the control group showing it is exactly the
+        #   absolute thresholds that buy Ben-Or its safety.
+        self.thresholds = thresholds
+
+    @property
+    def name(self) -> str:
+        return f"BenOr(n={self.n_processes}, t={self.t})"
+
+    # ------------------------------------------------------------------
+
+    def initial_state(self, pid: int, input_value: Hashable) -> BenOrState:
+        if input_value not in self.values:
+            raise ValueError(f"input {input_value!r} outside {self.values}")
+        return BenOrState(x=input_value)
+
+    def _broadcast(self, payload: Hashable) -> List[Tuple[int, Hashable]]:
+        return [(dest, payload) for dest in range(self.n_processes)]
+
+    def on_start(self, pid: int, state: BenOrState, rng: ReplayableRng):
+        return state, self._broadcast(("vote", 1, 1, state.x))
+
+    def _votes(self, state: BenOrState, rnd: int,
+               phase: int) -> List[Hashable]:
+        return [v for (r, p, _s, v) in state.inbox
+                if r == rnd and p == phase]
+
+    def _advance(self, state: BenOrState,
+                 rng: ReplayableRng) -> Tuple[BenOrState, List[Tuple[int, Hashable]]]:
+        """Process the inbox as far as possible (handles early arrivals)."""
+        n, t = self.n_processes, self.t
+        sends: List[Tuple[int, Hashable]] = []
+        while True:
+            votes = self._votes(state, state.round, state.phase)
+            if len(votes) < n - t:
+                return state, sends
+            if state.phase == 1:
+                # Majority suggestion (out of n, or of the collected
+                # votes in the broken "relative" mode).
+                majority_base = n if self.thresholds == "absolute" \
+                    else len(votes)
+                suggestion = NO_MAJORITY
+                for v in self.values:
+                    if sum(1 for x in votes if x == v) * 2 > majority_base:
+                        suggestion = v
+                        break
+                sends += self._broadcast(
+                    ("vote", state.round, 2, suggestion)
+                )
+                state = dataclasses.replace(state, phase=2)
+                continue
+            # Phase 2: decide / adopt / flip.
+            concrete = [v for v in votes if v != NO_MAJORITY]
+            counts = {
+                v: sum(1 for x in concrete if x == v) for v in set(concrete)
+            }
+            decide_quorum = (t + 1) if self.thresholds == "absolute" \
+                else len(votes)
+            decided = next(
+                (v for v, c in counts.items() if c >= decide_quorum), None
+            )
+            if decided is not None:
+                sends += self._broadcast(("decide", decided))
+                return dataclasses.replace(state, output=decided), sends
+            if concrete:
+                new_x = concrete[0]
+            else:
+                new_x = self.values[1] if rng.coin() else self.values[0]
+            state = dataclasses.replace(
+                state, x=new_x, round=state.round + 1, phase=1
+            )
+            sends += self._broadcast(("vote", state.round, 1, new_x))
+
+    def on_message(self, pid: int, state: BenOrState, sender: int,
+                   payload: Hashable, rng: ReplayableRng):
+        kind = payload[0]
+        if kind == "decide":
+            _kind, v = payload
+            return dataclasses.replace(state, output=v), []
+        _kind, rnd, phase, value = payload
+        if rnd < state.round or (rnd == state.round
+                                 and phase < state.phase):
+            # A vote from a stage this process has already completed:
+            # it can never contribute to a waiting threshold again.
+            # Dropping it keeps the inbox (and hence per-delivery cost)
+            # bounded by the round spread instead of the run length.
+            return state, []
+        entry = (rnd, phase, sender, value)
+        # A duplicate (same sender, round, phase) is impossible from
+        # correct processes; the frozenset makes it harmless anyway.
+        state = dataclasses.replace(state, inbox=state.inbox | {entry})
+        state, sends = self._advance(state, rng)
+        # Prune votes consumed by the stages just completed.
+        pruned = frozenset(
+            e for e in state.inbox
+            if e[0] > state.round
+            or (e[0] == state.round and e[1] >= state.phase)
+        )
+        if pruned != state.inbox:
+            state = dataclasses.replace(state, inbox=pruned)
+        return state, sends
+
+    def output(self, pid: int, state: BenOrState) -> Optional[Hashable]:
+        return state.output

@@ -1,0 +1,69 @@
+"""The register-implementability substrate (Lamport [5]).
+
+The paper's model rests on a hardware claim: bounded-size single-writer
+single-reader *atomic* registers "can be implemented from existing low
+level hardware", citing Lamport's *On Interprocess Communication*.
+This subpackage makes the claim executable: it provides the classic
+construction tower
+
+    flickering safe bit
+      → regular bit          (skip redundant writes)
+      → k-valued regular     (unary encoding, reads up / writes down)
+      → SRSW atomic          (sequence numbers kill new/old inversion)
+      → MRSW atomic          (per-reader copies + reader gossip)
+
+running inside an interval-time concurrency model
+(:mod:`repro.registers.interval`) where operations genuinely overlap,
+with weak-register return values resolved adversarially.  Histories of
+high-level operations are checked against the formal register semantics
+(safe / regular / atomic) by :mod:`repro.registers.conditions`.
+"""
+
+from repro.registers.interval import (
+    AtomicCell,
+    IntervalScheduler,
+    IntervalSim,
+    RegularCell,
+    SafeCell,
+    Thread,
+)
+from repro.registers.history import History, Interval
+from repro.registers.conditions import (
+    check_atomic,
+    check_regular,
+    check_safe,
+)
+from repro.registers.constructions import (
+    AtomicFromRegular,
+    CellRegister,
+    MRSWAtomicFromSRSW,
+    RegularFromSafe,
+    UnaryRegularRegister,
+    build_tower,
+)
+from repro.registers.workload import (
+    WorkloadReport,
+    run_register_workload,
+)
+
+__all__ = [
+    "AtomicCell",
+    "IntervalScheduler",
+    "IntervalSim",
+    "RegularCell",
+    "SafeCell",
+    "Thread",
+    "History",
+    "Interval",
+    "check_atomic",
+    "check_regular",
+    "check_safe",
+    "AtomicFromRegular",
+    "CellRegister",
+    "MRSWAtomicFromSRSW",
+    "RegularFromSafe",
+    "UnaryRegularRegister",
+    "build_tower",
+    "WorkloadReport",
+    "run_register_workload",
+]

@@ -1,0 +1,190 @@
+"""Semantic checkers for register histories (Lamport's hierarchy).
+
+Given a single-writer history with distinct written values (the
+workload driver guarantees both), the three register classes have
+clean characterizations:
+
+* **safe** — a read that overlaps no write returns the most recently
+  completed write's value (reads under overlap may return anything in
+  the domain, so only the quiescent condition is checkable);
+* **regular** — every read returns the most recently completed write's
+  value or the value of some overlapping write;
+* **atomic** — the history is regular *and* has no new/old inversion:
+  if read r₁ finishes before read r₂ starts, r₂ must not return an
+  older write than r₁ (Lamport's characterization of atomicity for
+  single-writer registers).
+
+:func:`check_atomic_bruteforce` independently verifies atomicity by
+searching for explicit linearization points; the test suite
+cross-validates the two on random histories.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.registers.history import History, Interval
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a semantic check."""
+
+    ok: bool
+    level: str
+    violations: Sequence[str] = ()
+
+    def render(self) -> str:
+        if self.ok:
+            return f"history is {self.level}"
+        lines = [f"history is NOT {self.level}:"]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def _require_checkable(history: History, unique: bool = False) -> Optional[str]:
+    """Safe/regular checks need sequential writes; atomicity's
+    inversion check additionally needs distinct written values."""
+    if not history.writes_are_sequential():
+        return "writes overlap — not a single-writer history"
+    if unique and not history.writes_are_unique():
+        return "written values are not distinct — atomicity checker precondition"
+    return None
+
+
+def _last_completed_before(history: History, t: int) -> Hashable:
+    """Value of the last write that responded before event ``t``."""
+    best: Optional[Interval] = None
+    for w in history.writes:
+        if w.respond < t and (best is None or w.respond > best.respond):
+            best = w
+    return best.value if best is not None else history.initial
+
+
+def _feasible_regular(history: History, read: Interval) -> List[Hashable]:
+    """The regular-semantics feasible set for one read."""
+    feasible = [_last_completed_before(history, read.invoke)]
+    for w in history.writes:
+        if w.overlaps(read):
+            feasible.append(w.value)
+    return feasible
+
+
+def check_safe(history: History) -> CheckResult:
+    """Check the safe-register condition (quiescent reads only)."""
+    problem = _require_checkable(history)
+    if problem:
+        return CheckResult(ok=False, level="safe", violations=(problem,))
+    violations = []
+    for read in history.reads:
+        if any(w.overlaps(read) for w in history.writes):
+            continue  # overlapping reads are unconstrained for safe
+        expected = _last_completed_before(history, read.invoke)
+        if read.value != expected:
+            violations.append(
+                f"quiescent {read.render()} expected {expected!r}"
+            )
+    return CheckResult(ok=not violations, level="safe",
+                       violations=tuple(violations))
+
+
+def check_regular(history: History) -> CheckResult:
+    """Check the regular-register condition."""
+    problem = _require_checkable(history)
+    if problem:
+        return CheckResult(ok=False, level="regular", violations=(problem,))
+    violations = []
+    for read in history.reads:
+        feasible = _feasible_regular(history, read)
+        if read.value not in feasible:
+            violations.append(
+                f"{read.render()} outside feasible set {feasible!r}"
+            )
+    return CheckResult(ok=not violations, level="regular",
+                       violations=tuple(violations))
+
+
+def _write_index(history: History) -> Dict[Hashable, int]:
+    """Map written value -> position in the writer's sequence.
+
+    The initial value gets index 0; the i-th write gets i (values are
+    distinct by precondition).
+    """
+    index = {history.initial: 0}
+    for i, w in enumerate(history.writes, start=1):
+        index[w.value] = i
+    return index
+
+
+def check_atomic(history: History) -> CheckResult:
+    """Check atomicity: regular + no new/old inversion."""
+    problem = _require_checkable(history, unique=True)
+    if problem:
+        return CheckResult(ok=False, level="atomic", violations=(problem,))
+    regular = check_regular(history)
+    if not regular.ok:
+        return CheckResult(ok=False, level="atomic",
+                           violations=regular.violations)
+    index = _write_index(history)
+    violations = []
+    reads = history.reads
+    for i, r1 in enumerate(reads):
+        for r2 in reads[i + 1:]:
+            if r1.precedes(r2) and index[r2.value] < index[r1.value]:
+                violations.append(
+                    f"new/old inversion: {r1.render()} then {r2.render()}"
+                )
+            elif r2.precedes(r1) and index[r1.value] < index[r2.value]:
+                violations.append(
+                    f"new/old inversion: {r2.render()} then {r1.render()}"
+                )
+    return CheckResult(ok=not violations, level="atomic",
+                       violations=tuple(violations))
+
+
+def check_atomic_bruteforce(history: History,
+                            max_ops: int = 14) -> CheckResult:
+    """Atomicity by explicit linearization search (small histories).
+
+    Backtracking over all real-time-respecting total orders, checking
+    that every read returns the latest preceding write.  Exponential —
+    guarded by ``max_ops`` — but an independent oracle for testing the
+    fast checker, and the *only* checker here that handles multi-writer
+    histories (overlapping writes linearize like anything else; the
+    fast checker's single-writer precondition does not apply).
+    """
+    ops = list(history)
+    if len(ops) > max_ops:
+        raise ValueError(
+            f"history of {len(ops)} ops exceeds brute-force cap {max_ops}"
+        )
+
+    def feasible_next(done: List[Interval], remaining: List[Interval]):
+        for op in remaining:
+            # Real-time order: op may come next only if no remaining op
+            # must precede it.
+            if any(other.precedes(op) for other in remaining if other is not op):
+                continue
+            yield op
+
+    def search(done: List[Interval], remaining: List[Interval],
+               current: Hashable) -> bool:
+        if not remaining:
+            return True
+        for op in feasible_next(done, remaining):
+            if op.kind == "read" and op.value != current:
+                continue
+            nxt = op.value if op.kind == "write" else current
+            rest = [o for o in remaining if o is not op]
+            done.append(op)
+            if search(done, rest, nxt):
+                return True
+            done.pop()
+        return False
+
+    ok = search([], ops, history.initial)
+    return CheckResult(
+        ok=ok, level="atomic",
+        violations=() if ok else ("no valid linearization exists",),
+    )

@@ -1,0 +1,372 @@
+"""Lamport's register constructions, runnable in the interval model.
+
+The tower, bottom to top:
+
+1. :class:`CellRegister` — a bare cell exposed as a register (the
+   safe/regular/atomic baselines).
+2. :class:`RegularFromSafe` — a *regular* bit from a *safe* bit: the
+   writer skips redundant writes, so a read only ever overlaps a write
+   that actually changes the value, and "arbitrary bit" collapses to
+   "old or new" (Lamport's construction 1 for bits).
+3. :class:`UnaryRegularRegister` — a k-valued *regular* register from
+   regular bits: value v is encoded as bit v set; the writer sets the
+   new bit *then* clears the lower ones (downward), the reader scans
+   upward and returns the first set bit.  The opposite sweep directions
+   are what make the value read always a current-or-overlapping one
+   (Lamport's construction 5).
+4. :class:`AtomicFromRegular` — an *atomic* SRSW register from one
+   regular register: the writer attaches an increasing sequence number
+   and the single reader never returns an older sequence number than it
+   has already returned, eliminating exactly the new/old inversions
+   that separate regular from atomic.
+5. :class:`MRSWAtomicFromSRSW` — an *atomic* n-reader register from
+   n + n(n−1) SRSW atomic registers: one per reader for the writer plus
+   a gossip matrix through which each reader republishes what it
+   returned, so later reads by other readers can never return older
+   values (the classic unbounded-timestamp construction).
+
+Sequence numbers in constructions 4-5 are unbounded, as in the
+classical literature; bounding them is a famously hard separate problem
+and the paper's own route to boundedness is at the protocol level
+(Section 6), not the register level.  DESIGN.md records this
+substitution.
+
+Every construction is exercised under adversarial interleavings and
+graded by the semantic checkers — see :mod:`repro.registers.workload`
+and benchmark E9.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Generator, Hashable, List, Optional, Sequence, Tuple
+
+from repro.registers.interval import BaseCell, IntervalSim
+
+
+ReadGen = Generator[None, None, Hashable]
+WriteGen = Generator[None, None, None]
+
+
+class Register(abc.ABC):
+    """A logical register built from cells inside one IntervalSim.
+
+    ``read_gen``/``write_gen`` return generators whose yields are the
+    interleaving points; drive them from :class:`IntervalSim` threads.
+    """
+
+    def __init__(self, sim: IntervalSim, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.cells: List[BaseCell] = []
+
+    def _cell(self, cell: BaseCell) -> BaseCell:
+        self.cells.append(cell)
+        return cell
+
+    @abc.abstractmethod
+    def read_gen(self, reader: int) -> ReadGen:
+        """Generator performing one logical read by ``reader``."""
+
+    @abc.abstractmethod
+    def write_gen(self, value: Hashable) -> WriteGen:
+        """Generator performing one logical write."""
+
+    @property
+    def primitive_events(self) -> int:
+        """Primitive cell events consumed so far (the E9 cost metric)."""
+        return sum(cell.event_count for cell in self.cells)
+
+
+class CellRegister(Register):
+    """A bare cell as a register — the baselines of the tower."""
+
+    def __init__(self, sim: IntervalSim, name: str, cell: BaseCell) -> None:
+        super().__init__(sim, name)
+        self._c = self._cell(cell)
+
+    def read_gen(self, reader: int) -> ReadGen:
+        value = yield from self.sim.read_cell(self._c)
+        return value
+
+    def write_gen(self, value: Hashable) -> WriteGen:
+        yield from self.sim.write_cell(self._c, value)
+
+
+class RegularFromSafe(Register):
+    """A regular bit from a safe bit (skip redundant writes).
+
+    A safe bit returns garbage only while a write is in progress; if
+    the writer never rewrites the current value, any in-progress write
+    is changing the bit, so "garbage in {0, 1}" coincides with "old or
+    new" — which is regularity.
+    """
+
+    def __init__(self, sim: IntervalSim, name: str, initial: int) -> None:
+        super().__init__(sim, name)
+        self._bit = self._cell(
+            sim.safe_cell(f"{name}.safebit", initial=initial, domain=(0, 1))
+        )
+        self._last_written = initial
+
+    def read_gen(self, reader: int) -> ReadGen:
+        value = yield from self.sim.read_cell(self._bit)
+        return value
+
+    def write_gen(self, value: Hashable) -> WriteGen:
+        if value not in (0, 1):
+            raise ValueError("RegularFromSafe stores bits")
+        if value == self._last_written:
+            return  # the skip that buys regularity
+        self._last_written = value
+        yield from self.sim.write_cell(self._bit, value)
+
+
+class UnaryRegularRegister(Register):
+    """k-valued regular register from regular bits (Lamport constr. 5).
+
+    ``domain[i]`` is encoded as bit i.  Writer: set bit i, then clear
+    bits i−1 .. 0.  Reader: scan bit 0 upward, return the first set
+    bit's value.  The writer sweeps down while readers sweep up, so the
+    first 1 a reader meets belongs to the most recent completed write
+    or to a write it overlaps.
+    """
+
+    def __init__(self, sim: IntervalSim, name: str,
+                 domain: Sequence[Hashable], initial: Hashable,
+                 bit_factory: Optional[str] = "regular-from-safe") -> None:
+        super().__init__(sim, name)
+        self.domain = tuple(domain)
+        if initial not in self.domain:
+            raise ValueError("initial value outside domain")
+        init_idx = self.domain.index(initial)
+        self._bits: List[Register] = []
+        for i, _v in enumerate(self.domain):
+            bit_init = 1 if i == init_idx else 0
+            if bit_factory == "regular-from-safe":
+                bit = RegularFromSafe(sim, f"{name}.b{i}", initial=bit_init)
+            else:
+                bit = CellRegister(
+                    sim, f"{name}.b{i}",
+                    sim.regular_cell(f"{name}.b{i}", bit_init, (0, 1)),
+                )
+            self._bits.append(bit)
+            self.cells.extend(bit.cells)
+
+    def read_gen(self, reader: int) -> ReadGen:
+        for i, bit in enumerate(self._bits):
+            v = yield from bit.read_gen(reader)
+            if v == 1:
+                return self.domain[i]
+        # Unreachable under the construction's invariant (some bit at or
+        # above the current value is always set); returning the top
+        # value keeps the generator total for defensive callers.
+        return self.domain[-1]
+
+    def write_gen(self, value: Hashable) -> WriteGen:
+        idx = self.domain.index(value)
+        yield from self._bits[idx].write_gen(1)
+        for i in range(idx - 1, -1, -1):
+            yield from self._bits[i].write_gen(0)
+
+
+class AtomicFromRegular(Register):
+    """SRSW atomic register from one regular register + sequence numbers.
+
+    A regular register already returns only current-or-overlapping
+    values; the one anomaly short of atomicity is the new/old inversion
+    between two sequential reads.  Tagging writes with an increasing
+    sequence number and making the reader monotone in it (never return
+    a smaller sequence number than it already has) removes the anomaly.
+    Single reader only — the reader's cache is reader-local state.
+    """
+
+    def __init__(self, sim: IntervalSim, name: str, initial: Hashable,
+                 reader: int = 0) -> None:
+        super().__init__(sim, name)
+        self._reg = self._cell(
+            sim.regular_cell(f"{name}.pair", initial=(0, initial), domain=())
+        )
+        self._seq = 0
+        self._reader = reader
+        self._cache: Tuple[int, Hashable] = (0, initial)
+
+    def read_gen(self, reader: int) -> ReadGen:
+        if reader != self._reader:
+            raise ValueError(
+                f"{self.name} is single-reader (reader {self._reader})"
+            )
+        pair = yield from self.sim.read_cell(self._reg)
+        if pair[0] > self._cache[0]:
+            self._cache = pair
+        return self._cache[1]
+
+    def write_gen(self, value: Hashable) -> WriteGen:
+        self._seq += 1
+        yield from self.sim.write_cell(self._reg, (self._seq, value))
+
+
+class MRSWAtomicFromSRSW(Register):
+    """n-reader atomic register from SRSW atomic registers.
+
+    Layout: ``w2r[j]`` carries the writer's latest (seq, value) to
+    reader j; ``r2r[i][j]`` lets reader i gossip what it last returned
+    to reader j.  A read takes the maximum sequence number over its
+    writer register and all gossip registers, republishes it, and
+    returns its value — so anything a read returns is visible to every
+    later read, which is exactly atomicity's no-inversion requirement
+    across readers.
+    """
+
+    def __init__(self, sim: IntervalSim, name: str, initial: Hashable,
+                 n_readers: int) -> None:
+        super().__init__(sim, name)
+        if n_readers < 1:
+            raise ValueError("need at least one reader")
+        self.n_readers = n_readers
+        self._seq = 0
+        self._w2r = [
+            self._adopt(AtomicFromRegular(sim, f"{name}.w2r{j}", (0, initial),
+                                          reader=j))
+            for j in range(n_readers)
+        ]
+        self._r2r = [
+            [
+                self._adopt(
+                    AtomicFromRegular(sim, f"{name}.r{i}to{j}", (0, initial),
+                                      reader=j)
+                ) if i != j else None
+                for j in range(n_readers)
+            ]
+            for i in range(n_readers)
+        ]
+        self._initial = initial
+
+    def _adopt(self, reg: Register) -> Register:
+        self.cells.extend(reg.cells)
+        return reg
+
+    def read_gen(self, reader: int) -> ReadGen:
+        best = yield from self._w2r[reader].read_gen(reader)
+        for i in range(self.n_readers):
+            if i == reader:
+                continue
+            pair = yield from self._r2r[i][reader].read_gen(reader)
+            if pair[0] > best[0]:
+                best = pair
+        for j in range(self.n_readers):
+            if j == reader:
+                continue
+            yield from self._r2r[reader][j].write_gen(best)
+        return best[1]
+
+    def write_gen(self, value: Hashable) -> WriteGen:
+        self._seq += 1
+        pair = (self._seq, value)
+        for j in range(self.n_readers):
+            yield from self._w2r[j].write_gen(pair)
+
+
+class MWMRAtomicRegister(Register):
+    """Multi-writer multi-reader atomic register from MRSW atomic ones.
+
+    The top of the classical tower (one rung above anything the paper
+    needs — its protocols are single-writer by design — included to
+    complete the substrate).  Construction: each writer owns one MRSW
+    atomic register readable by every agent.  A write collects all
+    registers, picks timestamp (max + 1, writer-id), and installs
+    (timestamp, value) in its own register; a read collects all
+    registers and returns the lexicographically-maximal timestamp's
+    value.
+
+    Why it is atomic (sketch): timestamps of sequential writes strictly
+    grow, because the later writer's collect sees the earlier write's
+    register.  Two sequential reads cannot invert, because the later
+    read's collect of every register starts after the earlier read's
+    finished and MRSW-atomic register values' timestamps only grow.
+    Unbounded timestamps, as everywhere in this file.
+
+    Agents: writers are agents 0..n_writers−1, readers are agents
+    n_writers..n_writers+n_readers−1 (writers must also read everyone's
+    register to pick timestamps, so the underlying MRSW registers serve
+    all agents).
+    """
+
+    def __init__(self, sim: IntervalSim, name: str, initial: Hashable,
+                 n_writers: int, n_readers: int) -> None:
+        super().__init__(sim, name)
+        if n_writers < 1 or n_readers < 1:
+            raise ValueError("need at least one writer and one reader")
+        self.n_writers = n_writers
+        self.n_readers = n_readers
+        n_agents = n_writers + n_readers
+        # Initial timestamp (0, -1) loses to every real write's (k, i).
+        self._regs = []
+        for w in range(n_writers):
+            reg = MRSWAtomicFromSRSW(
+                sim, f"{name}.w{w}", initial=((0, -1), initial),
+                n_readers=n_agents,
+            )
+            self.cells.extend(reg.cells)
+            self._regs.append(reg)
+
+    def _collect(self, agent: int):
+        best = None
+        for reg in self._regs:
+            pair = yield from reg.read_gen(agent)
+            if best is None or pair[0] > best[0]:
+                best = pair
+        return best
+
+    def write_by_gen(self, writer: int, value: Hashable) -> WriteGen:
+        """One logical write by ``writer`` (an agent id < n_writers)."""
+        if not 0 <= writer < self.n_writers:
+            raise ValueError(f"unknown writer {writer}")
+        best = yield from self._collect(writer)
+        ts = (best[0][0] + 1, writer)
+        yield from self._regs[writer].write_gen((ts, value))
+
+    def read_gen(self, reader: int) -> ReadGen:
+        """One logical read by reader index ``reader`` (< n_readers)."""
+        if not 0 <= reader < self.n_readers:
+            raise ValueError(f"unknown reader {reader}")
+        agent = self.n_writers + reader
+        best = yield from self._collect(agent)
+        return best[1]
+
+    def write_gen(self, value: Hashable) -> WriteGen:
+        """Single-writer convenience: writes as writer 0."""
+        yield from self.write_by_gen(0, value)
+
+
+def build_tower(sim: IntervalSim, level: str, domain: Sequence[Hashable],
+                initial: Hashable, n_readers: int = 1) -> Register:
+    """Construct one register of the requested tower level.
+
+    Levels: "safe-cell", "regular-cell", "atomic-cell" (baselines),
+    "regular-from-safe" (binary only), "unary-regular",
+    "srsw-atomic", "mrsw-atomic".
+    """
+    if level == "safe-cell":
+        return CellRegister(sim, level,
+                            sim.safe_cell("c", initial, domain))
+    if level == "regular-cell":
+        return CellRegister(sim, level,
+                            sim.regular_cell("c", initial, domain))
+    if level == "atomic-cell":
+        return CellRegister(sim, level,
+                            sim.atomic_cell("c", initial, domain))
+    if level == "regular-from-safe":
+        if set(domain) != {0, 1}:
+            raise ValueError("regular-from-safe stores bits")
+        return RegularFromSafe(sim, level, initial=initial)
+    if level == "unary-regular":
+        return UnaryRegularRegister(sim, level, domain, initial)
+    if level == "srsw-atomic":
+        return AtomicFromRegular(sim, level, initial)
+    if level == "mrsw-atomic":
+        return MRSWAtomicFromSRSW(sim, level, initial, n_readers)
+    if level == "mwmr-atomic":
+        return MWMRAtomicRegister(sim, level, initial, n_writers=2,
+                                  n_readers=n_readers)
+    raise ValueError(f"unknown tower level {level!r}")

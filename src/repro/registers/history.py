@@ -1,0 +1,95 @@
+"""Operation histories of high-level register operations.
+
+A :class:`History` records the invoke/respond events of every *logical*
+read and write performed on a register under test, in the interval
+model's global clock.  The semantic checkers in
+:mod:`repro.registers.conditions` grade histories; the workload driver
+in :mod:`repro.registers.workload` produces them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """One completed logical operation on the register under test.
+
+    ``kind`` is "read" or "write"; ``value`` is the value written or
+    returned; ``thread`` identifies the caller (reads carry the reader
+    id, writes the writer).  ``invoke`` / ``respond`` are global clock
+    events, with ``invoke < respond``.
+    """
+
+    kind: str
+    value: Hashable
+    thread: str
+    invoke: int
+    respond: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"bad operation kind {self.kind!r}")
+        if not self.invoke < self.respond:
+            raise ValueError(
+                f"operation must take time: invoke={self.invoke} "
+                f"respond={self.respond}"
+            )
+
+    def precedes(self, other: "Interval") -> bool:
+        """Real-time order: this op finished before the other began."""
+        return self.respond < other.invoke
+
+    def overlaps(self, other: "Interval") -> bool:
+        return not (self.precedes(other) or other.precedes(self))
+
+    def render(self) -> str:
+        arrow = "→" if self.kind == "read" else "←"
+        return (
+            f"[{self.invoke:>4}..{self.respond:>4}] {self.thread}: "
+            f"{self.kind} {arrow} {self.value!r}"
+        )
+
+
+class History:
+    """All completed operations on one logical register.
+
+    ``initial`` is the register's initial value (what reads before any
+    write must return).
+    """
+
+    def __init__(self, initial: Hashable) -> None:
+        self.initial = initial
+        self._ops: List[Interval] = []
+
+    def record(self, op: Interval) -> None:
+        self._ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(sorted(self._ops, key=lambda o: o.invoke))
+
+    @property
+    def reads(self) -> List[Interval]:
+        return [op for op in self if op.kind == "read"]
+
+    @property
+    def writes(self) -> List[Interval]:
+        return [op for op in self if op.kind == "write"]
+
+    def writes_are_sequential(self) -> bool:
+        """True iff no two writes overlap (single-writer histories)."""
+        ws = self.writes
+        return all(a.precedes(b) for a, b in zip(ws, ws[1:]))
+
+    def writes_are_unique(self) -> bool:
+        """True iff all written values are distinct (checker-friendly)."""
+        values = [w.value for w in self.writes]
+        return len(values) == len(set(values))
+
+    def render(self) -> str:
+        return "\n".join(op.render() for op in self)

@@ -1,0 +1,305 @@
+"""Interval-time concurrency model for register constructions.
+
+The consensus simulator (:mod:`repro.sim`) serializes everything — the
+right model *given* atomic registers, per the paper's Section 1
+argument.  To build atomic registers out of weaker ones, however, the
+weakness must be observable: reads must be able to *overlap* writes.
+This module provides that finer-grained world:
+
+* a global integer clock of *events*;
+* base **cells** whose primitive operations are two events apart
+  (``begin_…`` / ``end_…``), so other threads can run in between;
+* three cell semantics:
+
+  - :class:`SafeCell` — a read overlapping a write returns an arbitrary
+    domain value (the "flickering" hardware bit);
+  - :class:`RegularCell` — a read overlapping writes returns the old
+    value or any overlapping write's value;
+  - :class:`AtomicCell` — reads return the latest committed value
+    (writes linearize at their begin event, reads at their end; a valid
+    linearization, used as the reference implementation);
+
+* :class:`Thread` — a sequential program, written as a generator that
+  yields between primitive events;
+* :class:`IntervalSim` — the interleaving engine, driven by a seeded
+  (or adversarial) :class:`IntervalScheduler`.
+
+Nondeterminism in weak cells (which garbage a safe read returns, which
+overlapping value a regular read picks) is resolved by a *resolver*
+callback, defaulting to seeded-random — tests also plug in adversarial
+resolvers that hunt for violations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Generator, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import RegisterSemanticsError
+from repro.sim.rng import ReplayableRng
+
+
+Resolver = Callable[[str, Sequence[Hashable]], Hashable]
+"""Callback resolving weak-cell nondeterminism.
+
+Called as ``resolver(kind, choices)`` where ``kind`` is "safe" or
+"regular"; must return one of ``choices``.
+"""
+
+
+class _Clock:
+    """Monotonic event counter shared by all cells of one simulation."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def tick(self) -> int:
+        self.now += 1
+        return self.now
+
+
+@dataclasses.dataclass
+class _WriteSpan:
+    """A base-cell write in progress or completed."""
+
+    value: Hashable
+    begin: int
+    end: Optional[int] = None
+
+
+class BaseCell:
+    """Common machinery of the three cell semantics.
+
+    A cell is single-writer (the constructions only need that) but
+    multi-reader; it tracks the intervals of all writes so overlap
+    can be decided per read.
+    """
+
+    def __init__(self, name: str, clock: _Clock, initial: Hashable,
+                 domain: Sequence[Hashable], resolver: Resolver) -> None:
+        self.name = name
+        self._clock = clock
+        self._domain = tuple(domain)
+        self._resolver = resolver
+        self._init: Hashable = initial
+        self._current: Optional[_WriteSpan] = None
+        self._writes: List[_WriteSpan] = []
+        self._pending_reads: Dict[int, int] = {}  # token -> begin event
+        self._next_token = 0
+        self.event_count = 0
+
+    # -- writer side ----------------------------------------------------
+
+    def begin_write(self, value: Hashable) -> None:
+        if self._current is not None:
+            raise RegisterSemanticsError(
+                f"cell {self.name}: overlapping writes by the single writer"
+            )
+        self.event_count += 1
+        self._current = _WriteSpan(value=value, begin=self._clock.tick())
+        self._writes.append(self._current)
+
+    def end_write(self) -> None:
+        if self._current is None:
+            raise RegisterSemanticsError(
+                f"cell {self.name}: end_write without begin_write"
+            )
+        self.event_count += 1
+        self._current.end = self._clock.tick()
+        self._current = None
+
+    # -- reader side ----------------------------------------------------
+
+    def begin_read(self) -> int:
+        self.event_count += 1
+        token = self._next_token
+        self._next_token += 1
+        self._pending_reads[token] = self._clock.tick()
+        return token
+
+    def end_read(self, token: int) -> Hashable:
+        begin = self._pending_reads.pop(token)
+        self.event_count += 1
+        end = self._clock.tick()
+        overlapping = [
+            w for w in self._writes
+            if w.begin < end and (w.end is None or w.end > begin)
+        ]
+        # Value committed before this read began: the last write that
+        # finished before `begin` (tracked incrementally would be
+        # faster; histories here are short).
+        old = self._value_before(begin)
+        return self._resolve(old, overlapping)
+
+    def _value_before(self, t: int) -> Hashable:
+        candidates = [w for w in self._writes if w.end is not None and w.end < t]
+        if not candidates:
+            return self._initial_value()
+        return max(candidates, key=lambda w: w.end).value
+
+    def _initial_value(self) -> Hashable:
+        # The first committed value ever; stored implicitly: committed
+        # before any write completes is the construction-time initial.
+        return self._init
+
+    def _resolve(self, old: Hashable, overlapping: List[_WriteSpan]) -> Hashable:
+        raise NotImplementedError
+
+
+class SafeCell(BaseCell):
+    """Lamport's weakest register: overlap ⇒ arbitrary domain value."""
+
+    def _resolve(self, old, overlapping):
+        if not overlapping:
+            return old
+        return self._resolver("safe", self._domain)
+
+
+class RegularCell(BaseCell):
+    """Overlap ⇒ the old value or any overlapping write's value."""
+
+    def _resolve(self, old, overlapping):
+        if not overlapping:
+            return old
+        choices = [old] + [w.value for w in overlapping]
+        return self._resolver("regular", choices)
+
+
+class AtomicCell(BaseCell):
+    """Reference atomic cell: write linearizes at begin, read at end."""
+
+    def _resolve(self, old, overlapping):
+        # Latest value whose write began before this read ended — i.e.
+        # the most recent begin-linearized write.
+        if not overlapping:
+            return old
+        return max(overlapping, key=lambda w: w.begin).value
+
+
+# ----------------------------------------------------------------------
+# Threads and the interleaving engine
+# ----------------------------------------------------------------------
+
+Program = Generator[None, None, None]
+
+
+class Thread:
+    """A sequential program: a generator yielding at primitive events."""
+
+    def __init__(self, name: str, program: Program) -> None:
+        self.name = name
+        self._program = program
+        self.finished = False
+
+    def step(self) -> None:
+        if self.finished:
+            raise RegisterSemanticsError(f"stepping finished thread {self.name}")
+        try:
+            next(self._program)
+        except StopIteration:
+            self.finished = True
+
+
+class IntervalScheduler:
+    """Chooses which live thread advances next (seeded random default)."""
+
+    def __init__(self, rng: ReplayableRng) -> None:
+        self._rng = rng
+
+    def choose(self, live: Sequence[Thread]) -> Thread:
+        return self._rng.choice(live)
+
+
+class IntervalSim:
+    """The interval-model world: clock + cells + threads + interleaving.
+
+    Example
+    -------
+    >>> from repro.sim.rng import ReplayableRng
+    >>> sim = IntervalSim(seed=1)
+    >>> cell = sim.safe_cell("x", initial=0, domain=(0, 1))
+    >>> def writer():
+    ...     yield from sim.write_cell(cell, 1)
+    >>> def reader(out):
+    ...     v = yield from sim.read_cell(cell)
+    ...     out.append(v)
+    >>> out = []
+    >>> sim.spawn("w", writer()); sim.spawn("r", reader(out))
+    >>> sim.run()
+    >>> out[0] in (0, 1)
+    True
+    """
+
+    def __init__(self, seed: int = 0,
+                 resolver: Optional[Resolver] = None) -> None:
+        self.clock = _Clock()
+        self._rng = ReplayableRng(seed)
+        self._resolver = resolver or self._random_resolver
+        self._threads: List[Thread] = []
+        self._scheduler = IntervalScheduler(self._rng.child("interleave"))
+        self.cells: List[BaseCell] = []
+
+    def _random_resolver(self, kind: str, choices: Sequence[Hashable]) -> Hashable:
+        return self._rng.choice(choices)
+
+    # -- cell factories --------------------------------------------------
+
+    def safe_cell(self, name: str, initial: Hashable,
+                  domain: Sequence[Hashable]) -> SafeCell:
+        cell = SafeCell(name, self.clock, initial, domain, self._resolver)
+        self.cells.append(cell)
+        return cell
+
+    def regular_cell(self, name: str, initial: Hashable,
+                     domain: Sequence[Hashable]) -> RegularCell:
+        cell = RegularCell(name, self.clock, initial, domain, self._resolver)
+        self.cells.append(cell)
+        return cell
+
+    def atomic_cell(self, name: str, initial: Hashable,
+                    domain: Sequence[Hashable] = ()) -> AtomicCell:
+        cell = AtomicCell(name, self.clock, initial, domain, self._resolver)
+        self.cells.append(cell)
+        return cell
+
+    # -- primitive op generators -----------------------------------------
+
+    @staticmethod
+    def write_cell(cell: BaseCell, value: Hashable) -> Program:
+        """Two-event write; other threads may run between the events."""
+        cell.begin_write(value)
+        yield
+        cell.end_write()
+
+    @staticmethod
+    def read_cell(cell: BaseCell):
+        """Two-event read returning the (semantics-resolved) value."""
+        token = cell.begin_read()
+        yield
+        return cell.end_read(token)
+
+    # -- execution --------------------------------------------------------
+
+    def spawn(self, name: str, program: Program) -> Thread:
+        thread = Thread(name, program)
+        self._threads.append(thread)
+        return thread
+
+    def run(self, max_events: int = 1_000_000) -> None:
+        """Interleave all threads to completion."""
+        events = 0
+        while True:
+            live = [t for t in self._threads if not t.finished]
+            if not live:
+                return
+            if events >= max_events:
+                raise RegisterSemanticsError(
+                    f"interval simulation exceeded {max_events} events"
+                )
+            self._scheduler.choose(live).step()
+            events += 1
+
+    @property
+    def total_cell_events(self) -> int:
+        """Primitive events across all cells (the E9 cost metric)."""
+        return sum(cell.event_count for cell in self.cells)

@@ -1,0 +1,60 @@
+"""Adversary scheduler framework.
+
+Section 2 of the paper defines a scheduler as a mapping from
+configurations to processors, best viewed as an adversary with complete
+knowledge of processor states and register contents (but no foresight
+into coin flips).  This subpackage provides:
+
+* :mod:`repro.sched.base` — the :class:`Scheduler` ABC,
+* :mod:`repro.sched.simple` — benign schedulers (round-robin, random,
+  fixed sequences, oblivious interleavings),
+* :mod:`repro.sched.adversary` — adaptive full-knowledge adversaries,
+  including the Section 5 strategy that kills the naive protocol,
+* :mod:`repro.sched.crash` — fail-stop crash injection (the paper's
+  protocols tolerate up to n−1 crashes).
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.simple import (
+    FixedScheduler,
+    ObliviousScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    BlockScheduler,
+)
+from repro.sched.adversary import (
+    AdaptiveAdversary,
+    DisagreementAdversary,
+    LaggardFreezer,
+    NaiveKillerAdversary,
+    SplitVoteAdversary,
+)
+from repro.sched.crash import CrashingScheduler, CrashPlan
+from repro.sched.lookahead import LookaheadAdversary
+from repro.sched.optimal import (
+    GameSolution,
+    OptimalAdversary,
+    evaluate_policy,
+    solve_game,
+)
+
+__all__ = [
+    "Scheduler",
+    "FixedScheduler",
+    "ObliviousScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "BlockScheduler",
+    "AdaptiveAdversary",
+    "DisagreementAdversary",
+    "LaggardFreezer",
+    "NaiveKillerAdversary",
+    "SplitVoteAdversary",
+    "CrashingScheduler",
+    "CrashPlan",
+    "LookaheadAdversary",
+    "GameSolution",
+    "evaluate_policy",
+    "OptimalAdversary",
+    "solve_game",
+]

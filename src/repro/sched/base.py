@@ -1,0 +1,33 @@
+"""Scheduler abstract base class.
+
+A scheduler receives a :class:`~repro.sim.kernel.SchedulerView` — the
+full configuration plus run bookkeeping — and returns either
+:class:`~repro.sim.kernel.Activate` (who moves next) or
+:class:`~repro.sim.kernel.Crash` (fail-stop a processor).  Returning a
+bare processor id is accepted as shorthand for activation.
+
+Contract: the returned processor must be *enabled* (alive and
+undecided).  The kernel raises :class:`~repro.errors.SimulationError`
+otherwise, because an adversary that silently "activates" a halted
+processor would let broken protocols appear live.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+from repro.sim.kernel import Activate, Crash, SchedulerView
+
+
+class Scheduler(abc.ABC):
+    """Base class for all schedulers."""
+
+    @abc.abstractmethod
+    def choose(self, view: SchedulerView) -> Union[Activate, Crash, int]:
+        """Pick the next scheduler action for the given configuration."""
+
+    @property
+    def name(self) -> str:
+        """Scheduler name used in experiment reports."""
+        return type(self).__name__

@@ -1,0 +1,100 @@
+"""Fail-stop crash injection.
+
+The paper's system model tolerates fail-stop errors of up to all but one
+of the processors (Section 1) — in a fully asynchronous system a crashed
+processor is indistinguishable from one that is merely very slow, so any
+wait-free protocol handles crashes for free.  This module makes crashes
+explicit so benchmark E8 can measure that claim: a
+:class:`CrashingScheduler` wraps any inner scheduler and fail-stops
+processors according to a :class:`CrashPlan`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.sched.base import Scheduler
+from repro.sim.kernel import Activate, Crash, SchedulerView
+
+
+AdaptiveCrashRule = Callable[[SchedulerView], Optional[int]]
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashPlan:
+    """When to crash whom.
+
+    ``at_step`` maps a global step index to the processor to crash just
+    before that step executes.  ``after_activations`` maps a processor
+    id to the number of its own steps after which it crashes (e.g.
+    ``{2: 1}`` crashes processor 2 right after its first step — it wrote
+    its input and died).  ``rule`` is an arbitrary adaptive predicate
+    returning a pid to crash now, or ``None``.
+    """
+
+    at_step: Dict[int, int] = dataclasses.field(default_factory=dict)
+    after_activations: Dict[int, int] = dataclasses.field(default_factory=dict)
+    rule: Optional[AdaptiveCrashRule] = None
+
+    @classmethod
+    def kill_all_but(cls, survivor: int, n: int, after: int = 1) -> "CrashPlan":
+        """Crash every processor except ``survivor`` after ``after`` steps each.
+
+        This is the extreme t = n−1 scenario: the survivor must still
+        decide on its own.
+        """
+        return cls(after_activations={
+            pid: after for pid in range(n) if pid != survivor
+        })
+
+
+class CrashingScheduler(Scheduler):
+    """Wrap an inner scheduler with crash injection.
+
+    Consults the plan before every delegation; at most one crash is
+    issued per consultation (the kernel loops until it gets an
+    activation, so multi-crash plans drain over consecutive calls).
+    Never crashes the last enabled processor: the model requires at
+    least one live processor, and benchmark E8's point is precisely that
+    the survivor still terminates.
+    """
+
+    def __init__(self, inner: Scheduler, plan: CrashPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._done: set = set()
+
+    @property
+    def name(self) -> str:
+        return f"CrashingScheduler({self._inner.name})"
+
+    def _pending_crash(self, view: SchedulerView) -> Optional[int]:
+        candidates = []
+        step_pid = self._plan.at_step.get(view.step_index)
+        if step_pid is not None and ("step", view.step_index) not in self._done:
+            candidates.append((("step", view.step_index), step_pid))
+        for pid, limit in self._plan.after_activations.items():
+            key = ("acts", pid)
+            if key not in self._done and view.activations(pid) >= limit:
+                candidates.append((key, pid))
+        if self._plan.rule is not None:
+            pid = self._plan.rule(view)
+            if pid is not None:
+                key = ("rule", pid, view.step_index)
+                if key not in self._done:
+                    candidates.append((key, pid))
+        for key, pid in candidates:
+            if pid in view.enabled and len(view.enabled) > 1:
+                self._done.add(key)
+                return pid
+            if pid not in view.alive or view.decided(pid) is not None:
+                # Target already gone; retire the directive.
+                self._done.add(key)
+        return None
+
+    def choose(self, view: SchedulerView) -> Union[Activate, Crash, int]:
+        pid = self._pending_crash(view)
+        if pid is not None:
+            return Crash(pid)
+        return self._inner.choose(view)

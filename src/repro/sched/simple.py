@@ -1,0 +1,144 @@
+"""Benign (non-adaptive) schedulers.
+
+These model "honest" asynchrony: interleavings chosen without looking at
+protocol state.  They are the easy end of the adversary spectrum and
+serve as baselines in the benchmark harness — the paper's bounds must
+hold against the *adaptive* adversaries in :mod:`repro.sched.adversary`,
+so they certainly hold here, and the gap between the two is itself an
+ablation experiment (E-ablations in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.sched.base import Scheduler
+from repro.sim.kernel import Activate, SchedulerView
+from repro.sim.rng import ReplayableRng
+
+
+def _first_enabled(view: SchedulerView, preferred: Iterable[int]) -> int:
+    """Return the first enabled pid from ``preferred``, else any enabled."""
+    enabled = set(view.enabled)
+    for pid in preferred:
+        if pid in enabled:
+            return pid
+    return view.enabled[0]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through processors in id order, skipping halted ones.
+
+    The fairest possible schedule: every live processor is activated
+    once per round.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def choose(self, view: SchedulerView) -> Activate:
+        n = view.protocol.n_processes
+        enabled = set(view.enabled)
+        for offset in range(n):
+            pid = (self._next + offset) % n
+            if pid in enabled:
+                self._next = (pid + 1) % n
+                return Activate(pid)
+        # Unreachable: the kernel never consults a scheduler with no
+        # enabled processor.
+        raise RuntimeError("no enabled processor")
+
+
+class RandomScheduler(Scheduler):
+    """Activate a uniformly random enabled processor each step."""
+
+    def __init__(self, rng: ReplayableRng) -> None:
+        self._rng = rng
+
+    def choose(self, view: SchedulerView) -> Activate:
+        return Activate(self._rng.choice(view.enabled))
+
+
+class FixedScheduler(Scheduler):
+    """Follow a fixed finite schedule, then fall back to round-robin.
+
+    Schedule entries naming halted/crashed processors are skipped.  This
+    is the tool for replaying hand-constructed schedules such as the
+    ones appearing in the paper's proofs — e.g. ``(1, 2, 2, 2, ...)``
+    from Lemma 3.
+    """
+
+    def __init__(self, schedule: Sequence[int]) -> None:
+        self._schedule: Iterator[int] = iter(tuple(schedule))
+        self._fallback = RoundRobinScheduler()
+
+    def choose(self, view: SchedulerView) -> Activate:
+        enabled = set(view.enabled)
+        for pid in self._schedule:
+            if pid in enabled:
+                return Activate(pid)
+        return self._fallback.choose(view)
+
+
+class ObliviousScheduler(Scheduler):
+    """A randomized but state-blind adversary.
+
+    Draws the entire interleaving pattern ahead of time from a seeded
+    stream (here: lazily, but without ever reading the view's states).
+    Models adversaries that control timing but cannot inspect memory.
+    """
+
+    def __init__(self, rng: ReplayableRng, burst_max: int = 4) -> None:
+        self._rng = rng
+        self._burst_max = burst_max
+        self._pending: Iterator[int] = iter(())
+
+    def _refill(self, n: int) -> None:
+        pid = self._rng.randint(0, n - 1)
+        burst = self._rng.randint(1, self._burst_max)
+        self._pending = iter([pid] * burst)
+
+    def choose(self, view: SchedulerView) -> Activate:
+        n = view.protocol.n_processes
+        enabled = set(view.enabled)
+        for _ in range(64):
+            for pid in self._pending:
+                if pid in enabled:
+                    return Activate(pid)
+            self._refill(n)
+        # All bursts kept naming halted processors; pick any enabled.
+        return Activate(view.enabled[0])
+
+
+class BlockScheduler(Scheduler):
+    """Give each processor a block of ``block`` consecutive steps.
+
+    With ``block=1`` this is round-robin; large blocks approximate a
+    system where one processor runs far faster than the others.
+    """
+
+    def __init__(self, block: int, order: Optional[Sequence[int]] = None) -> None:
+        if block < 1:
+            raise ValueError("block must be >= 1")
+        self._block = block
+        self._order = tuple(order) if order is not None else None
+        self._cycle: Optional[Iterator[int]] = None
+        self._remaining = 0
+        self._current = 0
+
+    def choose(self, view: SchedulerView) -> Activate:
+        if self._cycle is None:
+            order = self._order or tuple(range(view.protocol.n_processes))
+            self._cycle = itertools.cycle(order)
+        enabled = set(view.enabled)
+        if self._remaining > 0 and self._current in enabled:
+            self._remaining -= 1
+            return Activate(self._current)
+        for _ in range(view.protocol.n_processes + 1):
+            pid = next(self._cycle)
+            if pid in enabled:
+                self._current = pid
+                self._remaining = self._block - 1
+                return Activate(pid)
+        return Activate(view.enabled[0])

@@ -1,0 +1,51 @@
+"""Simulation substrate: the asynchronous shared-memory machine of Section 2.
+
+This subpackage implements the computational model the paper defines:
+
+* processors are state automata taking one atomic register operation per
+  step (:mod:`repro.sim.process`),
+* shared registers have declared reader/writer sets
+  (:mod:`repro.sim.registers_file`),
+* an adversarial scheduler picks which processor moves next, and the
+  kernel serializes everything into a single global order
+  (:mod:`repro.sim.kernel`),
+* randomness is seeded and replayable (:mod:`repro.sim.rng`),
+* runs produce structured traces (:mod:`repro.sim.trace`) and batches of
+  runs produce aggregate statistics (:mod:`repro.sim.runner`).
+"""
+
+from repro.sim.ops import Op, ReadOp, WriteOp, BOTTOM
+from repro.sim.process import Automaton, Branch, RegisterSpec
+from repro.sim.config import Configuration
+from repro.sim.kernel import Simulation, RunResult
+from repro.sim.rng import ReplayableRng, derive_seed
+from repro.sim.trace import StepRecord, Trace
+from repro.sim.runner import ExperimentRunner, RunStats, BatchStats
+from repro.sim.viz import (
+    render_decision_summary,
+    render_register_timeline,
+    render_space_time,
+)
+
+__all__ = [
+    "Op",
+    "ReadOp",
+    "WriteOp",
+    "BOTTOM",
+    "Automaton",
+    "Branch",
+    "RegisterSpec",
+    "Configuration",
+    "Simulation",
+    "RunResult",
+    "ReplayableRng",
+    "derive_seed",
+    "StepRecord",
+    "Trace",
+    "ExperimentRunner",
+    "RunStats",
+    "BatchStats",
+    "render_decision_summary",
+    "render_register_timeline",
+    "render_space_time",
+]

@@ -1,0 +1,339 @@
+"""The simulation kernel: serialized execution of an asynchronous system.
+
+The paper observes (Section 1) that atomicity of the registers lets one
+serialize any system execution into a single global order of operations,
+and that the choice among the many possible serializations should be
+viewed as an adversary.  The kernel *is* that serialized model: at each
+step a scheduler names a processor, the kernel samples that processor's
+probabilistic transition (coin flips resolve here, invisible to the
+scheduler beforehand), executes the single register operation, and
+applies the state transition.
+
+Fail-stop crashes (the paper tolerates up to n−1 of them) are scheduler
+actions: a crashed processor is simply never activated again, which in a
+fully asynchronous model is indistinguishable from being infinitely
+slow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProtocolError, SimulationError
+from repro.sim.config import Configuration, RegisterLayout
+from repro.sim.ops import ReadOp, WriteOp
+from repro.sim.process import Automaton
+from repro.sim.rng import ReplayableRng
+from repro.sim.trace import CrashRecord, StepRecord, Trace
+
+
+@dataclasses.dataclass(frozen=True)
+class Activate:
+    """Scheduler action: let processor ``pid`` take its next step."""
+
+    pid: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Crash:
+    """Scheduler action: fail-stop processor ``pid`` (no step consumed)."""
+
+    pid: int
+
+
+SchedulerAction = Union[Activate, Crash]
+
+
+class SchedulerView:
+    """What a scheduler is allowed to see.
+
+    The paper's adversary is the strongest possible: it has complete
+    knowledge of every processor's internal state and all register
+    contents — but it cannot predict future coin flips.  The view
+    therefore exposes the full current configuration and the run's
+    bookkeeping, while coins are sampled only after the scheduler has
+    committed to an action.
+    """
+
+    def __init__(self, simulation: "Simulation") -> None:
+        self._sim = simulation
+
+    @property
+    def protocol(self) -> Automaton:
+        return self._sim.protocol
+
+    @property
+    def configuration(self) -> Configuration:
+        return self._sim.configuration
+
+    @property
+    def layout(self) -> RegisterLayout:
+        return self._sim.layout
+
+    @property
+    def step_index(self) -> int:
+        return self._sim.step_index
+
+    @property
+    def enabled(self) -> Tuple[int, ...]:
+        """Processors that may still be activated (alive and undecided)."""
+        return self._sim.enabled
+
+    @property
+    def alive(self) -> Tuple[int, ...]:
+        """Processors that have not crashed (decided ones included)."""
+        return self._sim.alive
+
+    @property
+    def crashed(self) -> frozenset:
+        return self._sim.crashed
+
+    def activations(self, pid: int) -> int:
+        """How many steps processor ``pid`` has taken so far."""
+        return self._sim.activations[pid]
+
+    def state_of(self, pid: int) -> Hashable:
+        return self._sim.configuration.states[pid]
+
+    def register(self, name: str) -> Hashable:
+        return self._sim.configuration.registers[self._sim.layout.index_of(name)]
+
+    def decided(self, pid: int) -> Optional[Hashable]:
+        return self._sim.decisions.get(pid)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Summary of one finished run."""
+
+    protocol_name: str
+    inputs: Tuple[Hashable, ...]
+    decisions: Dict[int, Hashable]
+    activations: Dict[int, int]
+    decision_activation: Dict[int, int]
+    coin_flips: Dict[int, int]
+    total_steps: int
+    crashed: frozenset
+    completed: bool
+    trace: Optional[Trace]
+    final_configuration: Configuration
+
+    @property
+    def all_decided(self) -> bool:
+        """Did every non-crashed processor decide?"""
+        n = len(self.inputs)
+        return all(
+            pid in self.decisions for pid in range(n) if pid not in self.crashed
+        )
+
+    @property
+    def decided_values(self) -> set:
+        return set(self.decisions.values())
+
+    @property
+    def consistent(self) -> bool:
+        """At most one distinct decision value (paper's consistency)."""
+        return len(self.decided_values) <= 1
+
+    @property
+    def nontrivial(self) -> bool:
+        """Every decision is the input of some processor (nontriviality)."""
+        inputs = set(self.inputs)
+        return all(value in inputs for value in self.decided_values)
+
+    def steps_to_decide(self, pid: int) -> Optional[int]:
+        """Activations processor ``pid`` needed to decide (None if it didn't)."""
+        return self.decision_activation.get(pid)
+
+    def max_steps_to_decide(self) -> Optional[int]:
+        """Worst per-processor decision cost in this run."""
+        if not self.decision_activation:
+            return None
+        return max(self.decision_activation.values())
+
+
+class Simulation:
+    """One run of a protocol under a scheduler.
+
+    Parameters
+    ----------
+    protocol:
+        The :class:`~repro.sim.process.Automaton` to execute.
+    inputs:
+        One input value per processor (the contents of the internal
+        input registers ``i_P``).
+    scheduler:
+        Any object with ``choose(view) -> Activate | Crash | int``
+        (a bare int is accepted as shorthand for ``Activate``).
+    rng:
+        Root random stream; each processor gets an independent child
+        stream so scheduling decisions do not perturb coin sequences.
+    record_trace:
+        Record a full :class:`~repro.sim.trace.Trace` (memory-heavy for
+        long runs; off by default).
+    strict:
+        Validate branch distributions on every step.  Slightly slower;
+        on by default since protocols here are research artifacts.
+    """
+
+    def __init__(
+        self,
+        protocol: Automaton,
+        inputs: Sequence[Hashable],
+        scheduler,
+        rng: ReplayableRng,
+        record_trace: bool = False,
+        strict: bool = True,
+    ) -> None:
+        if protocol.n_processes < 1:
+            raise SimulationError("protocol declares no processors")
+        self.protocol = protocol
+        self.inputs: Tuple[Hashable, ...] = tuple(inputs)
+        self.scheduler = scheduler
+        self.layout = RegisterLayout.for_protocol(protocol)
+        self.configuration = Configuration.initial(protocol, self.layout, self.inputs)
+        self.step_index = 0
+        self.activations: Dict[int, int] = {p: 0 for p in range(protocol.n_processes)}
+        self.coin_flips: Dict[int, int] = {p: 0 for p in range(protocol.n_processes)}
+        self.decisions: Dict[int, Hashable] = {}
+        self.decision_activation: Dict[int, int] = {}
+        self.crashed: frozenset = frozenset()
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+        self._strict = strict
+        self._rng = rng
+        self._proc_rngs = [
+            rng.child("proc", pid) for pid in range(protocol.n_processes)
+        ]
+        self._view = SchedulerView(self)
+        # Record decisions present in initial states (degenerate protocols).
+        for pid, value in self.configuration.decisions(protocol).items():
+            self.decisions[pid] = value
+            self.decision_activation[pid] = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> Tuple[int, ...]:
+        return tuple(
+            pid for pid in range(self.protocol.n_processes)
+            if pid not in self.crashed
+        )
+
+    @property
+    def enabled(self) -> Tuple[int, ...]:
+        """Alive processors that have not decided (decided ones halt)."""
+        return tuple(
+            pid for pid in self.alive if pid not in self.decisions
+        )
+
+    @property
+    def finished(self) -> bool:
+        """True when no processor can take a further step."""
+        return not self.enabled
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def crash(self, pid: int) -> None:
+        """Fail-stop processor ``pid``."""
+        self._check_pid(pid)
+        if pid in self.crashed:
+            raise SimulationError(f"processor {pid} already crashed")
+        self.crashed = self.crashed | {pid}
+        if self.trace is not None:
+            self.trace.append_crash(CrashRecord(index=self.step_index, pid=pid))
+
+    def step(self) -> StepRecord:
+        """Execute one step, consulting the scheduler for who moves."""
+        if self.finished:
+            raise SimulationError("stepping a finished simulation")
+        action = self.scheduler.choose(self._view)
+        # Allow schedulers to inject crashes; loop until an activation.
+        while isinstance(action, Crash):
+            self.crash(action.pid)
+            if self.finished:
+                raise SimulationError(
+                    "scheduler crashed every remaining processor"
+                )
+            action = self.scheduler.choose(self._view)
+        pid = action.pid if isinstance(action, Activate) else action
+        return self.step_processor(pid)
+
+    def step_processor(self, pid: int) -> StepRecord:
+        """Execute one step of a specific processor (bypassing the scheduler)."""
+        self._check_pid(pid)
+        if pid in self.crashed:
+            raise SimulationError(f"scheduled crashed processor {pid}")
+        if pid in self.decisions:
+            raise SimulationError(f"scheduled decided processor {pid}")
+
+        state = self.configuration.states[pid]
+        branches = self.protocol.branches(pid, state)
+        if self._strict:
+            self.protocol.validate_branches(branches)
+        if len(branches) == 1:
+            branch = branches[0]
+        else:
+            weights = [b.probability for b in branches]
+            branch = branches[self._proc_rngs[pid].choice_index(weights)]
+            self.coin_flips[pid] += 1
+        op = branch.op
+
+        if isinstance(op, ReadOp):
+            slot = self.layout.check_read(pid, op.register)
+            result: Hashable = self.configuration.registers[slot]
+        elif isinstance(op, WriteOp):
+            slot = self.layout.check_write(pid, op.register)
+            self.configuration = self.configuration.with_register(slot, op.value)
+            result = None
+        else:
+            raise ProtocolError(f"unknown operation {op!r}")
+
+        new_state = self.protocol.observe(pid, state, op, result)
+        self.configuration = self.configuration.with_state(pid, new_state)
+        self.activations[pid] += 1
+
+        decided = self.protocol.output(pid, new_state)
+        if decided is not None:
+            self.decisions[pid] = decided
+            self.decision_activation[pid] = self.activations[pid]
+
+        record = StepRecord(
+            index=self.step_index, pid=pid, op=op, result=result, decided=decided
+        )
+        self.step_index += 1
+        if self.trace is not None:
+            self.trace.append(record)
+        return record
+
+    def run(self, max_steps: int) -> RunResult:
+        """Run until every live processor decides, or ``max_steps`` elapse."""
+        while not self.finished and self.step_index < max_steps:
+            self.step()
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Snapshot the current run summary."""
+        return RunResult(
+            protocol_name=self.protocol.name,
+            inputs=self.inputs,
+            decisions=dict(self.decisions),
+            activations=dict(self.activations),
+            decision_activation=dict(self.decision_activation),
+            coin_flips=dict(self.coin_flips),
+            total_steps=self.step_index,
+            crashed=self.crashed,
+            completed=self.finished,
+            trace=self.trace,
+            final_configuration=self.configuration,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_pid(self, pid: int) -> None:
+        if not isinstance(pid, int) or not 0 <= pid < self.protocol.n_processes:
+            raise SimulationError(f"invalid processor id {pid!r}")

@@ -1,0 +1,93 @@
+"""Step vocabulary of the asynchronous machine.
+
+The paper's model (Section 2) allows a processor exactly one kind of
+activity per step: a single input/output operation on a shared register,
+followed by an internal state transition.  We therefore need only two
+operation types, :class:`ReadOp` and :class:`WriteOp`.
+
+Decisions are *not* operations: in the paper a processor decides by
+writing its internal output register, which is part of the state
+transition, not a shared-memory access.  The automaton interface exposes
+decisions through :meth:`repro.sim.process.Automaton.output` instead.
+
+Coin flips are likewise internal: a probabilistic transition function
+offers several *branches* for the next step, and the kernel samples one
+at activation time.  This is what keeps the adaptive adversary from
+seeing coin outcomes before the corresponding step executes — exactly
+the knowledge model the paper's termination proofs rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Union
+
+
+class _Bottom:
+    """The distinguished default value ⊥ (not a member of any input set V).
+
+    A singleton: all registers and output registers start at ⊥.  It
+    compares equal only to itself and hashes consistently, so it can live
+    inside hashable configurations.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __reduce__(self):
+        return (_Bottom, ())
+
+
+#: The module-level ⊥ singleton used throughout the library.
+BOTTOM = _Bottom()
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadOp:
+    """Read the shared register named ``register``.
+
+    The value read is delivered to the automaton through
+    :meth:`repro.sim.process.Automaton.observe`.
+    """
+
+    register: str
+
+    @property
+    def kind(self) -> str:
+        return "read"
+
+    def __repr__(self) -> str:
+        return f"read({self.register})"
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteOp:
+    """Write ``value`` into the shared register named ``register``.
+
+    ``value`` must be hashable so configurations stay hashable (the model
+    checker relies on this).
+    """
+
+    register: str
+    value: Hashable
+
+    @property
+    def kind(self) -> str:
+        return "write"
+
+    def __repr__(self) -> str:
+        return f"write({self.register} ← {self.value!r})"
+
+
+#: Union type of the two step operations (for annotations).
+Op = Union[ReadOp, WriteOp]
+
+#: Tuple of the concrete operation classes (for ``isinstance`` checks).
+OP_TYPES = (ReadOp, WriteOp)

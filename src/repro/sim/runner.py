@@ -1,0 +1,192 @@
+"""Monte-Carlo experiment runner.
+
+The paper's quantitative claims are about expectations and tail
+probabilities over the protocol's coin flips, holding against *every*
+scheduler.  The runner estimates those quantities empirically: it
+executes many independent seeded runs of a protocol under a given
+scheduler family and aggregates per-processor decision costs.
+
+Factories (rather than instances) are taken for the protocol, the
+scheduler, and the inputs so that stateful schedulers are fresh per run
+and input assignments can be randomized per run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.sim.kernel import RunResult, Simulation
+from repro.sim.process import Automaton
+from repro.sim.rng import ReplayableRng
+
+
+ProtocolFactory = Callable[[], Automaton]
+SchedulerFactory = Callable[[ReplayableRng], object]
+InputsFactory = Callable[[int, ReplayableRng], Sequence[Hashable]]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStats:
+    """Condensed per-run record kept by the runner."""
+
+    run_index: int
+    completed: bool
+    consistent: bool
+    nontrivial: bool
+    total_steps: int
+    decisions: Dict[int, Hashable]
+    steps_to_decide: Dict[int, int]
+    coin_flips: Dict[int, int]
+    crashed: frozenset = frozenset()
+
+
+@dataclasses.dataclass
+class BatchStats:
+    """Aggregate statistics over a batch of runs."""
+
+    runs: List[RunStats]
+    max_steps: int
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for r in self.runs if r.completed)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.n_completed / self.n_runs if self.runs else 0.0
+
+    @property
+    def n_consistency_violations(self) -> int:
+        return sum(1 for r in self.runs if not r.consistent)
+
+    @property
+    def n_nontriviality_violations(self) -> int:
+        return sum(1 for r in self.runs if not r.nontrivial)
+
+    def per_processor_costs(self) -> List[int]:
+        """Steps-to-decide samples pooled over all processors and runs.
+
+        This is the distribution the paper's Theorem 7 tail bound and
+        its expected-steps corollary speak about.
+        """
+        samples: List[int] = []
+        for run in self.runs:
+            samples.extend(run.steps_to_decide.values())
+        return samples
+
+    def worst_processor_costs(self) -> List[int]:
+        """Per-run worst steps-to-decide (only runs where all decided)."""
+        out: List[int] = []
+        for run in self.runs:
+            if run.completed and run.steps_to_decide:
+                out.append(max(run.steps_to_decide.values()))
+        return out
+
+    def mean_steps_to_decide(self) -> Optional[float]:
+        samples = self.per_processor_costs()
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    def tail_probability(self, k: int) -> float:
+        """Empirical P(a processor has not decided after k of its steps).
+
+        Runs censored by the step budget count as "not decided", making
+        the estimate conservative (an upper bound in expectation).
+        """
+        undecided = 0
+        total = 0
+        for run in self.runs:
+            # Every non-crashed processor contributes one Bernoulli sample
+            # per run; coin_flips is keyed by every pid, decided or not.
+            for pid in run.coin_flips:
+                if pid in run.crashed:
+                    continue
+                total += 1
+                cost = run.steps_to_decide.get(pid)
+                if cost is None or cost > k:
+                    undecided += 1
+        return undecided / total if total else 0.0
+
+    def mean_coin_flips(self) -> Optional[float]:
+        samples: List[int] = []
+        for run in self.runs:
+            samples.extend(run.coin_flips.values())
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+
+class ExperimentRunner:
+    """Run a protocol many times and aggregate statistics.
+
+    Example
+    -------
+    >>> from repro.core.two_process import TwoProcessProtocol
+    >>> from repro.sched.simple import RandomScheduler
+    >>> runner = ExperimentRunner(
+    ...     protocol_factory=lambda: TwoProcessProtocol(("a", "b")),
+    ...     scheduler_factory=lambda rng: RandomScheduler(rng),
+    ...     inputs_factory=lambda i, rng: ("a", "b"),
+    ...     seed=42,
+    ... )
+    >>> stats = runner.run_many(100, max_steps=1000)
+    >>> stats.n_consistency_violations
+    0
+    """
+
+    def __init__(
+        self,
+        protocol_factory: ProtocolFactory,
+        scheduler_factory: SchedulerFactory,
+        inputs_factory: InputsFactory,
+        seed: int,
+        strict: bool = False,
+    ) -> None:
+        self._protocol_factory = protocol_factory
+        self._scheduler_factory = scheduler_factory
+        self._inputs_factory = inputs_factory
+        self._seed = seed
+        self._strict = strict
+
+    def run_one(self, run_index: int, max_steps: int,
+                record_trace: bool = False) -> RunResult:
+        """Execute a single run (deterministic given the runner seed)."""
+        rng = ReplayableRng(self._seed).child("run", run_index)
+        protocol = self._protocol_factory()
+        scheduler = self._scheduler_factory(rng.child("sched"))
+        inputs = self._inputs_factory(run_index, rng.child("inputs"))
+        sim = Simulation(
+            protocol,
+            inputs,
+            scheduler,
+            rng.child("kernel"),
+            record_trace=record_trace,
+            strict=self._strict,
+        )
+        return sim.run(max_steps)
+
+    def run_many(self, n_runs: int, max_steps: int) -> BatchStats:
+        """Execute ``n_runs`` independent runs and aggregate."""
+        runs: List[RunStats] = []
+        for i in range(n_runs):
+            result = self.run_one(i, max_steps)
+            runs.append(
+                RunStats(
+                    run_index=i,
+                    completed=result.completed,
+                    consistent=result.consistent,
+                    nontrivial=result.nontrivial,
+                    total_steps=result.total_steps,
+                    decisions=dict(result.decisions),
+                    steps_to_decide=dict(result.decision_activation),
+                    coin_flips=dict(result.coin_flips),
+                    crashed=result.crashed,
+                )
+            )
+        return BatchStats(runs=runs, max_steps=max_steps)

@@ -1,0 +1,125 @@
+"""Structured run traces.
+
+A trace is the serialized record of a run: one :class:`StepRecord` per
+step, in global order.  Traces feed the property validators in
+:mod:`repro.checker.properties` (consistency, nontriviality, wait-free
+accounting) and the examples' pretty-printers.
+
+Traces can be large; the kernel only records them when asked
+(``record_trace=True``), and Monte-Carlo experiments usually run with
+tracing off and rely on per-run summaries instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Hashable, Iterator, List, Optional, Sequence
+
+from repro.sim.ops import Op, ReadOp, WriteOp
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRecord:
+    """One serialized step of a run.
+
+    ``result`` is the value read (for reads) or ``None`` (for writes).
+    ``decided`` carries the value the processor decided *at this step*,
+    if the step's state transition entered a decision state.
+    """
+
+    index: int
+    pid: int
+    op: Op
+    result: Hashable
+    decided: Optional[Hashable] = None
+
+    def render(self) -> str:
+        """One-line human-readable form, e.g. ``#12 P1 read(r0) -> 'a'``."""
+        if isinstance(self.op, ReadOp):
+            line = f"#{self.index:<4d} P{self.pid} {self.op!r} -> {self.result!r}"
+        else:
+            line = f"#{self.index:<4d} P{self.pid} {self.op!r}"
+        if self.decided is not None:
+            line += f"   [decides {self.decided!r}]"
+        return line
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashRecord:
+    """A fail-stop crash injected by the scheduler before step ``index``."""
+
+    index: int
+    pid: int
+
+    def render(self) -> str:
+        return f"#{self.index:<4d} P{self.pid} ✗ crashed"
+
+
+class Trace:
+    """Ordered list of step and crash records for one run."""
+
+    def __init__(self) -> None:
+        self._steps: List[StepRecord] = []
+        self._crashes: List[CrashRecord] = []
+
+    def append(self, record: StepRecord) -> None:
+        self._steps.append(record)
+
+    def append_crash(self, record: CrashRecord) -> None:
+        self._crashes.append(record)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[StepRecord]:
+        return iter(self._steps)
+
+    def __getitem__(self, idx: int) -> StepRecord:
+        return self._steps[idx]
+
+    @property
+    def steps(self) -> Sequence[StepRecord]:
+        return tuple(self._steps)
+
+    @property
+    def crashes(self) -> Sequence[CrashRecord]:
+        return tuple(self._crashes)
+
+    def schedule(self) -> List[int]:
+        """The schedule of this run: the ordered list of processor ids."""
+        return [record.pid for record in self._steps]
+
+    def steps_of(self, pid: int) -> List[StepRecord]:
+        """All steps taken by one processor, in order."""
+        return [record for record in self._steps if record.pid == pid]
+
+    def writes_to(self, register: str) -> List[StepRecord]:
+        """All writes to one register, in global order."""
+        return [
+            record for record in self._steps
+            if isinstance(record.op, WriteOp) and record.op.register == register
+        ]
+
+    def reads_from(self, register: str) -> List[StepRecord]:
+        """All reads of one register, in global order."""
+        return [
+            record for record in self._steps
+            if isinstance(record.op, ReadOp) and record.op.register == register
+        ]
+
+    def decisions(self) -> List[StepRecord]:
+        """The steps at which processors decided, in decision order."""
+        return [record for record in self._steps if record.decided is not None]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Multi-line rendering of the trace (truncated at ``limit`` steps)."""
+        events: List[object] = sorted(
+            list(self._steps) + list(self._crashes), key=lambda e: e.index
+        )
+        if limit is not None and len(events) > limit:
+            shown = events[:limit]
+            lines = [e.render() for e in shown]
+            lines.append(f"... ({len(events) - limit} more steps)")
+        else:
+            lines = [e.render() for e in events]
+        return "\n".join(lines)

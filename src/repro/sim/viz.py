@@ -1,0 +1,115 @@
+"""Space-time rendering of run traces.
+
+Distributed-computing arguments live and die by execution diagrams;
+this module draws them in plain text so examples, bug reports, and
+EXPERIMENTS.md can show *the actual interleaving* rather than describe
+it.  One column per processor, time flowing downward, one row per step:
+
+    step  P0                     P1
+    ----  ---------------------  ---------------------
+       0  w r0←'a'               .
+       1  .                      w r1←'b'
+       2  r r1→'b'               .
+       3  W r0←'b' ⚐             .
+       4  .                      r r0→'b' ✓b
+
+``w``/``r`` are writes/reads, a capital ``W`` marks a coin-directed
+write (the step where randomness acted), ``✓v`` marks a decision, and
+``✗`` a crash.  Register contents snapshots can be interleaved every
+``registers_every`` rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.ops import ReadOp, WriteOp
+from repro.sim.trace import Trace
+
+
+def _cell_for(record, coin_steps) -> str:
+    if isinstance(record.op, ReadOp):
+        text = f"r {record.op.register}→{record.result!r}"
+    else:
+        marker = "W" if record.index in coin_steps else "w"
+        text = f"{marker} {record.op.register}←{record.op.value!r}"
+    if record.decided is not None:
+        text += f" ✓{record.decided!r}"
+    return text
+
+
+def render_space_time(
+    trace: Trace,
+    n_processes: int,
+    width: int = 24,
+    limit: Optional[int] = 60,
+    coin_steps: Optional[Sequence[int]] = None,
+) -> str:
+    """Render a trace as a space-time diagram.
+
+    ``coin_steps`` optionally marks which step indices consumed a coin
+    flip (capitalized write marker); the kernel does not record this in
+    the trace itself, so callers who care pass it in.
+    """
+    coin_set = set(coin_steps or ())
+    events = sorted(
+        list(trace.steps) + list(trace.crashes), key=lambda e: e.index
+    )
+    if limit is not None and len(events) > limit:
+        shown, hidden = events[:limit], len(events) - limit
+    else:
+        shown, hidden = events, 0
+
+    header = ["step"] + [f"P{p}" for p in range(n_processes)]
+    widths = [4] + [width] * n_processes
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for event in shown:
+        row = [str(event.index).rjust(4)]
+        for p in range(n_processes):
+            if getattr(event, "pid", None) == p:
+                if hasattr(event, "op"):
+                    cell = _cell_for(event, coin_set)
+                else:
+                    cell = "✗ crashed"
+            else:
+                cell = "."
+            row.append(cell.ljust(width)[:width])
+        lines.append("  ".join(row))
+    if hidden:
+        lines.append(f"... ({hidden} more steps)")
+    return "\n".join(lines)
+
+
+def render_register_timeline(trace: Trace, register: str,
+                             limit: Optional[int] = 40) -> str:
+    """The value history of one register, write by write."""
+    writes = trace.writes_to(register)
+    if limit is not None:
+        writes = writes[:limit]
+    lines = [f"register {register}:"]
+    for w in writes:
+        lines.append(
+            f"  step {w.index:>4}: P{w.pid} wrote {w.op.value!r}"
+        )
+    if not writes:
+        lines.append("  (never written)")
+    return "\n".join(lines)
+
+
+def render_decision_summary(trace: Trace) -> str:
+    """Who decided what, when — the run's epilogue."""
+    decisions = trace.decisions()
+    if not decisions:
+        return "no decisions in this trace"
+    lines = []
+    for d in decisions:
+        lines.append(
+            f"P{d.pid} decided {d.decided!r} at step {d.index}"
+        )
+    values = {d.decided for d in decisions}
+    verdict = "consistent" if len(values) == 1 else "INCONSISTENT"
+    lines.append(f"({len(decisions)} decisions, {verdict})")
+    return "\n".join(lines)

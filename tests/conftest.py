@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.n_process import NProcessProtocol
+from repro.core.three_bounded import ThreeBoundedProtocol
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import RandomScheduler, RoundRobinScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+
+
+def run_protocol(protocol, inputs, seed=0, scheduler=None, max_steps=50_000,
+                 record_trace=False):
+    """Run one protocol instance to completion and return the result."""
+    rng = ReplayableRng(seed)
+    if scheduler is None:
+        scheduler = RandomScheduler(rng.child("sched"))
+    sim = Simulation(protocol, inputs, scheduler, rng.child("kernel"),
+                     record_trace=record_trace)
+    return sim.run(max_steps)
+
+
+@pytest.fixture
+def rng():
+    return ReplayableRng(12345)
+
+
+@pytest.fixture
+def two_process():
+    return TwoProcessProtocol(values=("a", "b"))
+
+
+@pytest.fixture
+def three_unbounded():
+    return ThreeUnboundedProtocol()
+
+
+@pytest.fixture
+def three_bounded():
+    return ThreeBoundedProtocol()
+
+
+@pytest.fixture(params=[2, 3, 4, 5])
+def n_process(request):
+    return NProcessProtocol(request.param)

@@ -1,0 +1,132 @@
+"""Tests for the theory formulas and statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    empirical_tail,
+    fit_geometric_rate,
+    histogram,
+    mean_confidence_interval,
+    percentile,
+    summarize,
+)
+from repro.analysis.theory import (
+    expected_steps_series,
+    geometric_tail,
+    multivalued_instance_count,
+    theory_tail_curve,
+    three_unbounded_num_tail_bound,
+    two_process_expected_steps_bound,
+    two_process_tail_bound,
+)
+
+
+class TestTheory:
+    def test_two_process_tail_values(self):
+        # Proof-implied: P(undecided after j steps) ≤ (3/4)^((j-2)/2),
+        # with the paper's "k + 2 steps" accounting (finding F2).
+        assert two_process_tail_bound(0) == 1.0
+        assert two_process_tail_bound(2) == 1.0
+        assert two_process_tail_bound(4) == pytest.approx(0.75)
+        assert two_process_tail_bound(6) == pytest.approx(0.75 ** 2)
+
+    def test_two_process_tail_paper_stated(self):
+        from repro.analysis.theory import two_process_tail_paper_stated
+
+        assert two_process_tail_paper_stated(4) == pytest.approx(0.25)
+        assert two_process_tail_paper_stated(6) == pytest.approx(1 / 16)
+        # The printed curve is strictly tighter than the proof supports.
+        for k in range(4, 20, 2):
+            assert (two_process_tail_paper_stated(k)
+                    < two_process_tail_bound(k))
+
+    def test_two_process_tail_monotone(self):
+        vals = [two_process_tail_bound(k) for k in range(2, 20, 2)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_expected_steps_bound_is_ten(self):
+        assert two_process_expected_steps_bound() == 10.0
+
+    def test_three_unbounded_tail(self):
+        assert three_unbounded_num_tail_bound(0) == 1.0
+        assert three_unbounded_num_tail_bound(1) == pytest.approx(0.75)
+        assert three_unbounded_num_tail_bound(10) == pytest.approx(0.75 ** 10)
+
+    def test_geometric_tail_validation(self):
+        with pytest.raises(ValueError):
+            geometric_tail(1.5, 3)
+        with pytest.raises(ValueError):
+            geometric_tail(0.5, -1)
+        with pytest.raises(ValueError):
+            two_process_tail_bound(-1)
+
+    def test_instance_count(self):
+        assert multivalued_instance_count(2) == 1
+        assert multivalued_instance_count(5) == 3
+        with pytest.raises(ValueError):
+            multivalued_instance_count(1)
+
+    def test_expected_steps_series(self):
+        # Σ (1/2)^k over k >= 0 is 2.
+        val = expected_steps_series(lambda k: 0.5 ** k, 60)
+        assert val == pytest.approx(2.0, abs=1e-12)
+
+    def test_theory_tail_curve(self):
+        ks = [0, 2, 4]
+        curve = theory_tail_curve(two_process_tail_bound, ks)
+        assert curve == [two_process_tail_bound(k) for k in ks]
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.n == 5 and s.mean == 3.0
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.p50 == 3
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile_nearest_rank(self):
+        xs = sorted([10, 20, 30, 40])
+        assert percentile(xs, 0.5) == 20
+        assert percentile(xs, 0.99) == 40
+
+    def test_render(self):
+        text = summarize([1.0, 2.0]).render("steps")
+        assert text.startswith("steps:") and "mean=1.50" in text
+
+    def test_confidence_interval_brackets_mean(self):
+        mean, lo, hi = mean_confidence_interval([5.0] * 50)
+        assert lo == mean == hi == 5.0
+        mean, lo, hi = mean_confidence_interval(list(range(100)))
+        assert lo < mean < hi
+
+    def test_empirical_tail(self):
+        tail = empirical_tail([1, 2, 3, 4], ks=[0, 2, 4])
+        assert tail == [1.0, 0.5, 0.0]
+
+    def test_histogram(self):
+        assert histogram([3, 1, 3, 2, 3]) == {1: 1, 2: 1, 3: 3}
+
+    def test_fit_geometric_rate_exact(self):
+        ks = list(range(1, 10))
+        tails = [0.6 ** k for k in ks]
+        assert fit_geometric_rate(ks, tails) == pytest.approx(0.6, rel=1e-9)
+
+    def test_fit_geometric_rate_ignores_zeros(self):
+        ks = [1, 2, 3, 4]
+        tails = [0.5, 0.25, 0.0, 0.0]
+        assert fit_geometric_rate(ks, tails) == pytest.approx(0.5, rel=1e-9)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_geometric_rate([1], [0.5])
+        with pytest.raises(ValueError):
+            fit_geometric_rate([1, 1], [0.5, 0.5])

@@ -1,0 +1,63 @@
+"""Tests for JSON experiment records."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.reporting import (
+    batch_metrics,
+    dump_records,
+    environment_stamp,
+    load_records,
+    record_batch,
+)
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+def make_stats(n_runs=40):
+    runner = ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(),
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=7,
+    )
+    return runner.run_many(n_runs, max_steps=1000)
+
+
+class TestReporting:
+    def test_batch_metrics_fields(self):
+        metrics = batch_metrics(make_stats())
+        assert metrics["completion_rate"] == 1.0
+        assert metrics["consistency_violations"] == 0
+        assert metrics["mean_steps"] > 0
+        assert metrics["p99_steps"] >= metrics["p50_steps"]
+        assert "mean_coin_flips" in metrics
+
+    def test_record_roundtrip(self, tmp_path):
+        record = record_batch(
+            experiment="E2", protocol="TwoProcessProtocol",
+            scheduler="random", inputs="a,b", seed=7,
+            stats=make_stats(),
+        )
+        path = str(tmp_path / "records.json")
+        text = dump_records([record], path=path)
+        # Valid JSON with environment stamp.
+        doc = json.loads(text)
+        assert "environment" in doc and "records" in doc
+        assert doc["environment"]["library_version"]
+        # Round-trips through the loader.
+        loaded = load_records(path)
+        assert len(loaded) == 1
+        assert loaded[0].experiment == "E2"
+        assert loaded[0].metrics["n_runs"] == 40
+
+    def test_environment_stamp(self):
+        stamp = environment_stamp()
+        assert set(stamp) == {"library_version", "python", "platform"}
+
+    def test_records_are_deterministic(self):
+        a = record_batch("E2", "p", "s", "a,b", 7, make_stats())
+        b = record_batch("E2", "p", "s", "a,b", 7, make_stats())
+        assert a.to_dict() == b.to_dict()

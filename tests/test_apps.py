@@ -1,0 +1,124 @@
+"""Tests for the applications layer: mutex, leader election, choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.choice import coordinate_choice
+from repro.apps.leader import elect_leader
+from repro.apps.mutex import CriticalSectionLog, Grant, MutualExclusion
+from repro.errors import VerificationError
+
+
+class TestMutualExclusion:
+    def test_every_grant_goes_to_a_contender(self):
+        arbiter = MutualExclusion(5, seed=7)
+        log = arbiter.run_rounds(15)
+        assert len(log.grants) == 15
+        for g in log.grants:
+            assert g.winner in g.contenders
+        assert log.mutual_exclusion_holds()
+
+    def test_fixed_contention(self):
+        arbiter = MutualExclusion(6, seed=8)
+        log = arbiter.run_rounds(10, contention=2)
+        assert all(len(g.contenders) == 2 for g in log.grants)
+
+    def test_explicit_round(self):
+        arbiter = MutualExclusion(4, seed=9)
+        grant = arbiter.arbitrate_round([0, 2, 3])
+        assert grant.winner in (0, 2, 3)
+        assert grant.round_index == 0
+
+    def test_rounds_are_reproducible(self):
+        winners = [
+            MutualExclusion(4, seed=33).run_rounds(8).wins_by_processor()
+            for _ in range(2)
+        ]
+        assert winners[0] == winners[1]
+
+    def test_no_processor_monopolizes_forever(self):
+        # Over many full-contention rounds, multiple processors win.
+        arbiter = MutualExclusion(4, seed=10)
+        log = arbiter.run_rounds(30, contention=4)
+        assert len(log.wins_by_processor()) >= 2
+
+    def test_rejects_bad_contenders(self):
+        arbiter = MutualExclusion(3, seed=0)
+        with pytest.raises(ValueError):
+            arbiter.arbitrate_round([0, 7])
+        with pytest.raises(ValueError):
+            arbiter.arbitrate_round([1, 1])
+        with pytest.raises(ValueError):
+            arbiter.arbitrate_round([2])
+
+    def test_log_rejects_non_contender_winner(self):
+        log = CriticalSectionLog()
+        with pytest.raises(VerificationError):
+            log.record(Grant(round_index=0, winner=5, contenders=(1, 2),
+                             steps=10))
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ValueError):
+            MutualExclusion(1)
+
+
+class TestLeaderElection:
+    def test_unanimous_election(self):
+        result = elect_leader(5, seed=1)
+        assert result.unanimous
+        assert 0 <= result.leader < 5
+        assert len(result.votes) == 5
+
+    def test_survives_n_minus_one_crashes(self):
+        for survivor in range(4):
+            crash = [p for p in range(4) if p != survivor]
+            result = elect_leader(4, seed=2, crash=crash)
+            assert result.votes.get(survivor) == result.leader
+            assert set(result.crashed) == set(crash)
+
+    def test_crashed_candidate_can_still_win(self):
+        # A processor that wrote its candidacy and died can be elected —
+        # the losers only need a consistent answer.
+        leaders = set()
+        for seed in range(30):
+            result = elect_leader(3, seed=seed, crash=[0])
+            leaders.add(result.leader)
+        assert leaders, "elections must produce leaders"
+
+    def test_rejects_everyone_crashing(self):
+        with pytest.raises(ValueError):
+            elect_leader(3, crash=[0, 1, 2])
+
+    def test_rejects_single_processor(self):
+        with pytest.raises(ValueError):
+            elect_leader(1)
+
+
+class TestChoiceCoordination:
+    def test_two_alternatives_direct(self):
+        result = coordinate_choice(("left", "right"),
+                                   ("left", "right", "left"), seed=3)
+        assert result.chosen in ("left", "right")
+        assert not result.via_reduction
+        assert result.respected_someone
+
+    def test_many_alternatives_use_reduction(self):
+        result = coordinate_choice("abcdefgh", ("a", "h", "c"), seed=4)
+        assert result.via_reduction
+        assert result.chosen in ("a", "h", "c")
+
+    def test_forced_reduction_on_binary(self):
+        result = coordinate_choice(("x", "y"), ("x", "y"), seed=5,
+                                   use_reduction=True)
+        assert result.via_reduction
+        assert result.chosen in ("x", "y")
+
+    def test_rejects_preference_outside_alternatives(self):
+        with pytest.raises(ValueError):
+            coordinate_choice(("a", "b"), ("a", "z"))
+
+    def test_reproducible(self):
+        r1 = coordinate_choice("pqrs", ("p", "s", "q"), seed=6)
+        r2 = coordinate_choice("pqrs", ("p", "s", "q"), seed=6)
+        assert r1.chosen == r2.chosen and r1.steps == r2.steps

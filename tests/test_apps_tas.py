@@ -1,0 +1,73 @@
+"""Tests for the one-shot test-and-set application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.test_and_set import OneShotTestAndSet
+from repro.errors import VerificationError
+from repro.sched.adversary import SplitVoteAdversary
+
+
+class TestOneShotTAS:
+    def test_exactly_one_winner(self):
+        for seed in range(20):
+            tas = OneShotTestAndSet(5, seed=seed)
+            outcome = tas.race([0, 1, 2, 3, 4])
+            assert outcome.exactly_one_winner
+            assert outcome.returns[outcome.winner] == 0
+            assert all(
+                v == 1 for pid, v in outcome.returns.items()
+                if pid != outcome.winner
+            )
+
+    def test_winner_is_a_caller(self):
+        for seed in range(20):
+            tas = OneShotTestAndSet(6, seed=seed)
+            outcome = tas.race([1, 3, 5])
+            assert outcome.winner in (1, 3, 5)
+            assert set(outcome.returns) == {1, 3, 5}
+
+    def test_solo_caller_wins_free(self):
+        tas = OneShotTestAndSet(3, seed=0)
+        outcome = tas.race([2])
+        assert outcome.winner == 2
+        assert outcome.returns == {2: 0}
+        assert outcome.steps == 0
+
+    def test_one_shot_semantics(self):
+        tas = OneShotTestAndSet(3, seed=1)
+        tas.race([0, 1])
+        assert tas.consumed
+        with pytest.raises(VerificationError):
+            tas.race([0, 2])
+
+    def test_under_adversary(self):
+        for seed in range(10):
+            tas = OneShotTestAndSet(
+                4, seed=seed,
+                scheduler_factory=lambda rng: SplitVoteAdversary(),
+            )
+            outcome = tas.race([0, 1, 2, 3])
+            assert outcome.exactly_one_winner
+
+    def test_reproducible(self):
+        a = OneShotTestAndSet(4, seed=9).race([0, 1, 2, 3])
+        b = OneShotTestAndSet(4, seed=9).race([0, 1, 2, 3])
+        assert a.winner == b.winner and a.steps == b.steps
+
+    def test_validates_callers(self):
+        tas = OneShotTestAndSet(3, seed=0)
+        with pytest.raises(ValueError):
+            tas.race([0, 9])
+        with pytest.raises(ValueError):
+            tas.race([])
+        with pytest.raises(ValueError):
+            OneShotTestAndSet(0)
+
+    def test_winners_distribute_across_seeds(self):
+        winners = {
+            OneShotTestAndSet(3, seed=s).race([0, 1, 2]).winner
+            for s in range(30)
+        }
+        assert len(winners) >= 2  # no hard-wired favourite

@@ -1,0 +1,167 @@
+"""Tests for the checker: explorer, valency, properties, FLP pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import (
+    classify,
+    explore,
+    find_bivalent_initial,
+    successors,
+    validate_run,
+    verify_safety,
+)
+from repro.checker.explorer import enabled_pids
+from repro.checker.properties import verify_safety_all_inputs
+from repro.checker.valency import Valency, decision_values_of
+from repro.core.deterministic import mirror, obstinate
+from repro.core.two_process import TwoProcessProtocol
+from repro.errors import ExplorationLimitError, VerificationError
+from repro.sim.config import Configuration, RegisterLayout
+
+from conftest import run_protocol
+
+
+class TestExplorer:
+    def test_initial_successors_are_the_two_writes(self):
+        p = TwoProcessProtocol()
+        layout = RegisterLayout.for_protocol(p)
+        root = Configuration.initial(p, layout, ("a", "b"))
+        succ = list(successors(p, layout, root))
+        assert len(succ) == 2
+        assert {s.pid for s in succ} == {0, 1}
+        assert all(s.probability == 1.0 for s in succ)
+
+    def test_coin_branches_both_explored(self):
+        p = TwoProcessProtocol()
+        graph = explore(p, ("a", "b"))
+        branching = [
+            s for succ in graph.edges.values() for s in succ
+            if s.probability == 0.5
+        ]
+        assert branching, "coin branches must appear in the graph"
+
+    def test_full_exploration_is_complete(self):
+        graph = explore(TwoProcessProtocol(), ("a", "b"))
+        assert graph.complete
+        assert not graph.frontier
+        assert graph.n_states > 10
+
+    def test_depth_budget_truncates(self):
+        graph = explore(TwoProcessProtocol(), ("a", "b"), max_depth=2)
+        assert not graph.complete
+        assert graph.frontier
+
+    def test_state_budget_truncates(self):
+        graph = explore(TwoProcessProtocol(), ("a", "b"), max_states=5)
+        assert not graph.complete
+        assert graph.n_states <= 6
+
+    def test_terminal_nodes_have_all_decided(self):
+        p = TwoProcessProtocol()
+        graph = explore(p, ("a", "b"))
+        terminals = list(graph.terminal_nodes())
+        assert terminals
+        for config in terminals:
+            assert not enabled_pids(p, config)
+            assert len(config.decisions(p)) == 2
+
+    def test_on_node_callback_sees_every_state(self):
+        count = []
+        graph = explore(TwoProcessProtocol(), ("a", "b"),
+                        on_node=lambda c, d: count.append(d))
+        assert len(count) == graph.n_states
+
+
+class TestValency:
+    def test_requires_complete_graph(self):
+        graph = explore(TwoProcessProtocol(), ("a", "b"), max_depth=2)
+        with pytest.raises(ExplorationLimitError):
+            decision_values_of(graph)
+
+    def test_terminal_decisions_seed_the_fixpoint(self):
+        p = TwoProcessProtocol()
+        graph = explore(p, ("a", "a"))
+        vmap = classify(graph)
+        for config in graph.terminal_nodes():
+            assert vmap.value(config) == "a"
+
+    def test_counts_add_up(self):
+        graph = explore(TwoProcessProtocol(), ("a", "b"))
+        vmap = classify(graph)
+        total = sum(
+            vmap.count(v) for v in
+            (Valency.BIVALENT, Valency.UNIVALENT, Valency.NULLVALENT)
+        )
+        assert total == graph.n_states
+
+    def test_obstinate_has_nullvalent_states(self):
+        graph = explore(obstinate(), ("a", "b"))
+        vmap = classify(graph)
+        assert vmap.count(Valency.NULLVALENT) > 0
+
+    def test_mirror_mixed_initial_is_bivalent(self):
+        graph = explore(mirror(), ("a", "b"))
+        vmap = classify(graph)
+        assert vmap.valency(graph.roots[0]) is Valency.BIVALENT
+
+
+class TestProperties:
+    def test_validate_run_passes_good_run(self):
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=4)
+        report = validate_run(result, require_decision=True)
+        assert report.consistent and report.nontrivial and report.all_decided
+
+    def test_validate_run_rejects_incomplete_when_required(self):
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=4,
+                              max_steps=1)
+        with pytest.raises(VerificationError):
+            validate_run(result, require_decision=True)
+        # ...but passes without the completeness requirement.
+        validate_run(result)
+
+    def test_verify_safety_flags_broken_protocol(self):
+        # The 'decide your own input immediately' protocol: build it by
+        # subverting the two-process rule machinery.
+        from repro.core.deterministic import TwoProcessDeterministic
+
+        def selfish(pid, pref, read):
+            return ("decide", pref)
+
+        # selfish never reaches its read (decides at the read step with
+        # own pref) — with mixed inputs, two different decisions.
+        broken = TwoProcessDeterministic(selfish, "selfish")
+        report = verify_safety(broken, ("a", "b"))
+        assert not report.ok
+        assert "consistency" in report.violation
+        assert report.witness is not None
+
+    def test_verify_safety_guarantee_strings(self):
+        full = verify_safety(TwoProcessProtocol(), ("a", "b"))
+        assert "full reachable" in full.guarantee()
+        partial = verify_safety(TwoProcessProtocol(), ("a", "b"), max_depth=3)
+        assert "up to depth" in partial.guarantee()
+
+    def test_verify_safety_all_inputs(self):
+        reports = verify_safety_all_inputs(
+            lambda: TwoProcessProtocol(), ("a", "b"), n=2
+        )
+        assert len(reports) == 4
+        assert all(r.ok for _inputs, r in reports)
+
+
+class TestFLPPipeline:
+    def test_bivalent_initial_found_for_consistent_zoo(self):
+        found = find_bivalent_initial(mirror())
+        assert found is not None
+        inputs, graph, vmap = found
+        assert set(inputs) == {"a", "b"}
+
+    def test_nontrivial_decision_values_in_graph(self):
+        # Sanity: the mirror graph's reachable decisions are inputs only.
+        graph = explore(mirror(), ("a", "b"))
+        p = mirror()
+        for config in graph.nodes():
+            for v in config.decisions(p).values():
+                assert v in ("a", "b")

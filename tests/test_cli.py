@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_two_process(self, capsys):
+        assert main(["solve", "--protocol", "two", "--inputs", "a,b",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "agreed on" in out and "consistent: True" in out
+
+    def test_trace_output(self, capsys):
+        assert main(["solve", "--inputs", "a,b", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "write" in out and "read" in out
+
+    def test_all_protocols(self, capsys):
+        cases = [
+            ("two", "a,b"),
+            ("three-unbounded", "a,b,a"),
+            ("three-bounded", "a,b,b"),
+            ("n", "a,b,a,b"),
+            ("naive", "a,a,a"),
+        ]
+        for protocol, inputs in cases:
+            assert main(["solve", "--protocol", protocol,
+                         "--inputs", inputs]) == 0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--protocol", "two", "--inputs", "a,b,c"])
+
+    def test_all_schedulers(self):
+        for sched in ("random", "round-robin", "oblivious", "split-vote",
+                      "laggard-freezer"):
+            assert main(["solve", "--protocol", "three-unbounded",
+                         "--inputs", "a,b,a", "--scheduler", sched]) == 0
+
+
+class TestVerify:
+    def test_full_verification(self, capsys):
+        assert main(["verify", "--protocol", "two", "--inputs", "a,b"]) == 0
+        assert "full reachable" in capsys.readouterr().out
+
+    def test_depth_bounded(self, capsys):
+        assert main(["verify", "--protocol", "three-bounded",
+                     "--inputs", "a,b,a", "--depth", "8"]) == 0
+        assert "up to depth" in capsys.readouterr().out
+
+
+class TestImpossibility:
+    def test_whole_zoo(self, capsys):
+        assert main(["impossibility"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("admits an infinite non-deciding schedule") == 4
+
+    def test_single_member(self, capsys):
+        assert main(["impossibility", "--protocol", "greedy-min"]) == 0
+        assert "greedy-min" in capsys.readouterr().out
+
+    def test_unknown_member(self):
+        with pytest.raises(SystemExit):
+            main(["impossibility", "--protocol", "does-not-exist"])
+
+
+class TestGameAndTower:
+    def test_game(self, capsys):
+        assert main(["game", "--cost", "processor:1"]) == 0
+        assert "10.000000" in capsys.readouterr().out
+
+    def test_tower(self, capsys):
+        assert main(["tower", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mrsw-atomic" in out and "atomic" in out

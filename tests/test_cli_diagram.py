@@ -1,0 +1,28 @@
+"""Tests for the CLI's space-time diagram flag."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestDiagramFlag:
+    def test_diagram_renders_columns(self, capsys):
+        assert main(["solve", "--inputs", "a,b", "--trace", "--diagram",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "step  P0" in out
+        assert "w r0←'a'" in out or "w r1←'b'" in out
+
+    def test_diagram_respects_limit(self, capsys):
+        assert main(["solve", "--protocol", "three-unbounded",
+                     "--inputs", "a,b,a", "--trace", "--diagram",
+                     "--trace-limit", "4", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "more steps" in out
+
+    def test_plain_trace_unchanged(self, capsys):
+        assert main(["solve", "--inputs", "a,b", "--trace",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "step  P0" not in out  # flat rendering, not columns
+        assert "write(" in out

@@ -1,0 +1,130 @@
+"""Tests for the Theorem 5 multivalued reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.theory import multivalued_instance_count
+from repro.core.multivalued import MultiValuedProtocol, bit_width
+from repro.core.n_process import NProcessProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import FixedScheduler, RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+from conftest import run_protocol
+
+
+def two_proc_mv(values):
+    return MultiValuedProtocol(
+        base_factory=lambda: TwoProcessProtocol(values=(0, 1)),
+        values=values,
+    )
+
+
+def n_proc_mv(n, values):
+    return MultiValuedProtocol(
+        base_factory=lambda: NProcessProtocol(n, values=(0, 1)),
+        values=values,
+    )
+
+
+class TestBitWidth:
+    @pytest.mark.parametrize("k,w", [(2, 1), (3, 2), (4, 2), (5, 3),
+                                     (8, 3), (9, 4), (16, 4), (1000, 10)])
+    def test_matches_ceiling_log(self, k, w):
+        assert bit_width(k) == w
+        assert multivalued_instance_count(k) == w
+
+    def test_rejects_trivial_domain(self):
+        with pytest.raises(ValueError):
+            bit_width(1)
+
+
+class TestConstruction:
+    def test_rejects_nonbinary_base(self):
+        with pytest.raises(ValueError):
+            MultiValuedProtocol(
+                base_factory=lambda: TwoProcessProtocol(values=("x", "y")),
+                values=("p", "q", "r"),
+            )
+
+    def test_width_property(self):
+        assert two_proc_mv("pqrs").width == 2
+
+    def test_registers_namespaced_per_instance(self):
+        p = two_proc_mv("pqrs")
+        names = {spec.name for spec in p.registers()}
+        assert "bin0.r0" in names and "bin1.r1" in names
+        assert "val0" in names and "val1" in names
+
+    def test_inherits_processor_count(self):
+        assert n_proc_mv(5, "pqr").n_processes == 5
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8, 16])
+    def test_two_processors_k_values(self, k):
+        values = tuple(f"v{i}" for i in range(k))
+        for seed in range(10):
+            result = run_protocol(two_proc_mv(values), (values[0], values[-1]),
+                                  seed=seed, max_steps=100_000)
+            assert result.completed
+            assert result.consistent and result.nontrivial
+            assert result.decided_values.issubset({values[0], values[-1]})
+
+    def test_three_processors_five_values(self):
+        values = ("p", "q", "r", "s", "t")
+        runner = ExperimentRunner(
+            protocol_factory=lambda: n_proc_mv(3, values),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: tuple(
+                rng.choice(values) for _ in range(3)
+            ),
+            seed=51,
+        )
+        stats = runner.run_many(100, max_steps=200_000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+
+    def test_nontriviality_decided_value_is_an_input(self):
+        # The classic mixed-bits hazard: inputs with indices 1 (01) and
+        # 2 (10) must never produce 0 (00) or 3 (11).
+        values = ("w0", "w1", "w2", "w3")
+        for seed in range(40):
+            result = run_protocol(two_proc_mv(values), ("w1", "w2"),
+                                  seed=seed, max_steps=100_000)
+            assert result.completed
+            assert result.decided_values.issubset({"w1", "w2"}), (
+                f"seed {seed}: mixed-bit output {result.decided_values}"
+            )
+
+    def test_unanimous_inputs_fast_path(self):
+        values = ("p", "q", "r", "s")
+        result = run_protocol(two_proc_mv(values), ("r", "r"), seed=1)
+        assert result.decided_values == {"r"}
+
+    def test_solo_processor_decides(self):
+        values = ("p", "q", "r", "s")
+        result = run_protocol(two_proc_mv(values), ("q", "s"),
+                              scheduler=FixedScheduler([0] * 200))
+        assert result.decisions[0] == "q"
+
+    def test_cost_scales_with_log_k(self):
+        def mean_steps(k):
+            values = tuple(range(k))
+            runner = ExperimentRunner(
+                protocol_factory=lambda: two_proc_mv(values),
+                scheduler_factory=lambda rng: RandomScheduler(rng),
+                inputs_factory=lambda i, rng: (
+                    rng.choice(values), rng.choice(values)
+                ),
+                seed=61,
+            )
+            return runner.run_many(60, 100_000).mean_steps_to_decide()
+
+        m2, m16 = mean_steps(2), mean_steps(16)
+        # 16 values = 4 instances vs 1: cost should grow by roughly the
+        # instance ratio (with announce/scan overhead), far below 20x.
+        assert m16 > m2
+        assert m16 < m2 * 20

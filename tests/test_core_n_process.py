@@ -1,0 +1,118 @@
+"""Tests for the n-processor generalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import verify_safety
+from repro.core.n_process import NProcessProtocol
+from repro.sched.crash import CrashPlan, CrashingScheduler
+from repro.sched.simple import FixedScheduler, RandomScheduler, RoundRobinScheduler
+from repro.sim.runner import ExperimentRunner
+
+from conftest import run_protocol
+
+
+class TestConstruction:
+    def test_rejects_tiny_systems(self):
+        with pytest.raises(ValueError):
+            NProcessProtocol(1)
+
+    def test_register_layout_scales(self):
+        p = NProcessProtocol(7)
+        specs = p.registers()
+        assert len(specs) == 7
+        for i, spec in enumerate(specs):
+            assert spec.writers == (i,)
+            assert len(spec.readers) == 6
+
+    def test_phase_reads_all_others(self, n_process):
+        result = run_protocol(
+            n_process,
+            tuple("ab" * n_process.n_processes)[: n_process.n_processes],
+            seed=2, record_trace=True,
+        )
+        assert result.completed
+        n = n_process.n_processes
+        # Between two consecutive writes by one processor there are
+        # exactly n-1 reads (one full scan).
+        pid0_steps = result.trace.steps_of(0)
+        kinds = [s.op.kind for s in pid0_steps]
+        first_write = kinds.index("write")
+        scan = kinds[first_write + 1:first_write + n]
+        assert scan == ["read"] * (n - 1) or len(kinds) <= first_write + 1
+
+
+class TestCorrectness:
+    def test_n2_reduces_to_two_process_shape(self):
+        report = verify_safety(NProcessProtocol(2), ("a", "b"),
+                               max_depth=16, max_states=200_000)
+        assert report.ok
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_exhaustive_safety_small_depth(self, n):
+        inputs = tuple("ab"[(i % 2)] for i in range(n))
+        report = verify_safety(NProcessProtocol(n), inputs,
+                               max_depth=10, max_states=150_000)
+        assert report.ok
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 8])
+    def test_monte_carlo_all_sizes(self, n):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: NProcessProtocol(n),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: tuple(
+                rng.choice(["a", "b"]) for _ in range(n)
+            ),
+            seed=101 + n,
+        )
+        stats = runner.run_many(150, max_steps=100_000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+
+    def test_solo_processor_decides(self):
+        n = 5
+        result = run_protocol(
+            NProcessProtocol(n), tuple("abbab"),
+            scheduler=FixedScheduler([2] * 100),
+        )
+        assert result.decisions[2] == "b"
+
+    def test_crash_tolerance_all_but_one(self):
+        n = 6
+        for survivor in range(n):
+            plan = CrashPlan.kill_all_but(survivor, n)
+            scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+            result = run_protocol(
+                NProcessProtocol(n), tuple("ababab"),
+                scheduler=scheduler, max_steps=200_000,
+            )
+            assert survivor in result.decisions
+            assert result.consistent and result.nontrivial
+
+    def test_multivalued_domain_native(self):
+        # The pref/num family handles arbitrary domains directly.
+        result = run_protocol(
+            NProcessProtocol(4, values=(10, 20, 30, 40)),
+            (10, 30, 30, 40), seed=5, max_steps=100_000,
+        )
+        assert result.completed
+        assert result.decided_values.issubset({10, 30, 40})
+
+    def test_steps_grow_polynomially(self):
+        # Expected per-processor steps should grow roughly linearly in
+        # n (each phase costs n reads); super-polynomial blowup would
+        # show as an explosion between n=3 and n=8.
+        means = {}
+        for n in (3, 8):
+            runner = ExperimentRunner(
+                protocol_factory=lambda n=n: NProcessProtocol(n),
+                scheduler_factory=lambda rng: RandomScheduler(rng),
+                inputs_factory=lambda i, rng: tuple(
+                    rng.choice(["a", "b"]) for _ in range(n)
+                ),
+                seed=303,
+            )
+            means[n] = runner.run_many(100, 200_000).mean_steps_to_decide()
+        assert means[8] < means[3] * 30

@@ -1,0 +1,131 @@
+"""Tests for the baselines: the naive protocol and the deterministic zoo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import analyze_deterministic
+from repro.core.deterministic import (
+    TwoProcessDeterministic,
+    greedy_min,
+    mirror,
+    obstinate,
+    priority,
+    zoo,
+)
+from repro.core.naive import NaiveProtocol
+from repro.errors import ProtocolError
+from repro.sched.adversary import NaiveKillerAdversary
+from repro.sched.simple import FixedScheduler, RandomScheduler, RoundRobinScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+
+from conftest import run_protocol
+
+
+class TestNaiveProtocol:
+    def test_decides_under_fair_scheduling(self):
+        # Not *wrong* under benign schedules — just killable.
+        done = 0
+        for seed in range(20):
+            result = run_protocol(NaiveProtocol(3), ("a", "b", "a"),
+                                  seed=seed, max_steps=5000)
+            done += result.completed
+            assert result.consistent
+        assert done >= 18  # overwhelmingly terminates when fair
+
+    def test_unanimous_inputs_decide_immediately(self):
+        result = run_protocol(NaiveProtocol(3), ("a", "a", "a"),
+                              scheduler=RoundRobinScheduler())
+        assert result.completed
+        assert all(
+            result.decision_activation[p] == 3 for p in range(3)
+        )  # write + two reads
+
+    def test_killer_starves_victim(self):
+        result = run_protocol(NaiveProtocol(3), ("b", "b", "b"), seed=3,
+                              scheduler=NaiveKillerAdversary(),
+                              max_steps=4000)
+        assert 2 not in result.decisions
+        assert result.activations[2] > 1000
+
+    def test_scales_to_more_processors(self):
+        result = run_protocol(NaiveProtocol(5), tuple("ababa"), seed=9,
+                              max_steps=200_000)
+        assert result.consistent
+
+    def test_rejects_single_processor(self):
+        with pytest.raises(ValueError):
+            NaiveProtocol(1)
+
+
+class TestDeterministicZoo:
+    def test_zoo_members_are_deterministic(self):
+        for p in zoo():
+            assert not p.is_randomized
+            state = p.initial_state(0, "a")
+            assert len(p.branches(0, state)) == 1
+
+    def test_every_member_fails_theorem4(self):
+        for p in zoo():
+            report = analyze_deterministic(p)
+            assert report.verdict in (
+                "violates consistency",
+                "violates nontriviality",
+                "admits an infinite non-deciding schedule",
+            )
+            assert report.states_explored > 0
+
+    def test_lasso_witnesses_replay(self):
+        """The checker's schedules are not just certificates on paper:
+        replaying prefix + many cycle repetitions leaves every processor
+        that participates in the cycle activated unboundedly yet
+        undecided — the exact negation of the termination property."""
+        for p in (obstinate(), mirror(), priority(), greedy_min()):
+            report = analyze_deterministic(p)
+            if report.lasso_cycle is None:
+                continue
+            repeats = 50
+            schedule = (list(report.lasso_prefix)
+                        + list(report.lasso_cycle) * repeats)
+            sim = Simulation(type(p)(p._rule, "replay"), report.inputs,
+                             FixedScheduler(schedule), ReplayableRng(0))
+            for _ in range(len(schedule)):
+                if sim.finished:
+                    break
+                sim.step()
+            cycle_pids = set(report.lasso_cycle)
+            for pid in cycle_pids:
+                assert pid not in sim.decisions, (
+                    f"{p.name}: cycle participant P{pid} decided "
+                    f"{sim.decisions[pid]!r} — not a witness"
+                )
+                assert sim.activations[pid] >= repeats, (
+                    f"{p.name}: P{pid} was not actually activated "
+                    "unboundedly along the lasso"
+                )
+
+    def test_mirror_lasso_is_fair(self):
+        report = analyze_deterministic(mirror())
+        assert report.lasso_cycle is not None
+        assert report.fair, "mirror's dance is a fair non-deciding schedule"
+
+    def test_priority_is_consistent_but_nonterminating(self):
+        report = analyze_deterministic(priority())
+        assert report.verdict == "admits an infinite non-deciding schedule"
+
+    def test_randomized_protocol_rejected(self):
+        from repro.core.two_process import TwoProcessProtocol
+
+        with pytest.raises(ProtocolError):
+            analyze_deterministic(TwoProcessProtocol())
+
+    def test_zoo_members_work_on_unanimous_inputs(self):
+        # Every zoo member *does* decide when both inputs agree — the
+        # impossibility bites only on mixed inputs.
+        for p in zoo():
+            result = run_protocol(type(p)(p._rule, "rerun"), ("a", "a"),
+                                  scheduler=RoundRobinScheduler(),
+                                  max_steps=100)
+            assert result.completed
+            assert result.decided_values == {"a"}

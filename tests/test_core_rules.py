@@ -1,0 +1,102 @@
+"""Unit tests for the shared pref/num decision rules (Figure 2)."""
+
+from __future__ import annotations
+
+from repro.core.rules import (
+    INITIAL,
+    PrefNum,
+    candidate,
+    decision,
+    leading,
+    max_num,
+    unanimous_pref,
+)
+from repro.sim.ops import BOTTOM
+
+
+def pn(pref, num):
+    return PrefNum(pref=pref, num=num)
+
+
+class TestHelpers:
+    def test_max_num(self):
+        assert max_num([pn("a", 3), pn("b", 1)]) == 3
+
+    def test_leading_single(self):
+        lead = leading([pn("a", 3), pn("b", 1), pn("a", 2)])
+        assert lead == (pn("a", 3),)
+
+    def test_leading_ties(self):
+        lead = leading([pn("a", 3), pn("b", 3), pn("a", 2)])
+        assert set(lead) == {pn("a", 3), pn("b", 3)}
+
+    def test_unanimous_pref(self):
+        assert unanimous_pref([pn("a", 1), pn("a", 9)]) == "a"
+        assert unanimous_pref([pn("a", 1), pn("b", 1)]) is None
+
+    def test_initial_register_value(self):
+        assert INITIAL.pref is BOTTOM and INITIAL.num == 0
+
+
+class TestDecision:
+    def test_case_a_all_prefs_equal(self):
+        assert decision(pn("a", 5), [pn("a", 1), pn("a", 3)]) == "a"
+
+    def test_case_a_blocked_by_bottom(self):
+        # An unwritten register does not count as agreeing.
+        assert decision(pn("a", 1), [INITIAL, pn("a", 1)]) is None
+
+    def test_case_b_leader_two_ahead(self):
+        assert decision(pn("a", 5), [pn("b", 3), pn("b", 2)]) == "a"
+
+    def test_case_b_needs_gap_of_two(self):
+        # Trailing by exactly one is not enough.
+        assert decision(pn("a", 5), [pn("b", 4), pn("b", 2)]) is None
+
+    def test_case_b_needs_unanimous_leaders(self):
+        assert decision(pn("a", 5), [pn("b", 5), pn("b", 2)]) is None
+
+    def test_case_b_tied_leaders_agreeing(self):
+        assert decision(pn("a", 5), [pn("a", 5), pn("b", 3)]) == "a"
+
+    def test_case_b_not_from_behind(self):
+        # A trailing processor must NOT decide for the leaders' value:
+        # the literal Figure 2 rule allows it and is inconsistent under
+        # stale intra-phase reads (finding F1 in EXPERIMENTS.md).
+        assert decision(pn("b", 2), [pn("a", 5), pn("a", 5)]) is None
+
+    def test_case_b_tied_leader_may_decide(self):
+        assert decision(pn("a", 5), [pn("a", 5), pn("b", 3)]) == "a"
+
+    def test_initial_configuration_no_decision(self):
+        assert decision(pn("a", 1), [INITIAL, INITIAL]) is None
+
+    def test_leader_two_ahead_of_unwritten(self):
+        assert decision(pn("a", 2), [INITIAL, INITIAL]) == "a"
+
+
+class TestCandidate:
+    def test_increments_num(self):
+        c = candidate(pn("a", 4), [pn("b", 4), pn("a", 2)])
+        assert c.num == 5
+
+    def test_adopts_unanimous_leader_pref(self):
+        c = candidate(pn("b", 2), [pn("a", 5), pn("a", 5)])
+        assert c.pref == "a"
+
+    def test_keeps_own_pref_on_split_leaders(self):
+        c = candidate(pn("b", 5), [pn("a", 5), pn("a", 2)])
+        assert c.pref == "b"
+
+    def test_self_leader_keeps_own(self):
+        c = candidate(pn("b", 9), [pn("a", 1), pn("a", 2)])
+        assert c.pref == "b" and c.num == 10
+
+    def test_never_adopts_bottom(self):
+        # Leaders with ⊥ pref cannot exist once the caller has written,
+        # but the rule must be safe anyway.
+        c = candidate(pn("a", 1), [pn(BOTTOM, 1), pn("a", 0)])
+        assert c.pref in ("a",)
+
+    def test_repr_matches_paper_notation(self):
+        assert repr(pn("a", 3)) == "['a',3]"

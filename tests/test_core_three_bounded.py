@@ -1,0 +1,253 @@
+"""Tests for the bounded-register three-processor protocol (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import verify_safety
+from repro.core.three_bounded import (
+    BReg,
+    CHECKPOINTS,
+    INITIAL,
+    MIXED,
+    ThreeBoundedProtocol,
+    advance,
+    ahead,
+)
+from repro.sched.adversary import LaggardFreezer, SplitVoteAdversary
+from repro.sched.simple import BlockScheduler, FixedScheduler, RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+from conftest import run_protocol
+
+
+def rg(pos, val, seen=None, mode="run"):
+    return BReg(mode=mode, pos=pos, val=val, seen=seen)
+
+
+class TestCircularArithmetic:
+    def test_ahead_basic(self):
+        assert ahead(3, 1) == 2
+        assert ahead(1, 3) == -2
+        assert ahead(5, 5) == 0
+
+    def test_ahead_wraps(self):
+        assert ahead(1, 9) == 1     # 9 < 1 circularly (paper: "9 < 1")
+        assert ahead(2, 8) == 3
+        assert ahead(8, 2) == -3
+
+    def test_ahead_range(self):
+        for x in range(1, 10):
+            for y in range(1, 10):
+                assert -4 <= ahead(x, y) <= 4
+
+    def test_advance_wraps_nine_to_one(self):
+        assert advance(9) == 1
+        assert [advance(p) for p in range(1, 9)] == list(range(2, 10))
+
+    def test_checkpoints(self):
+        assert CHECKPOINTS == (3, 6, 9)
+
+
+class TestComputeRules:
+    """Unit tests of the phase computation on crafted register views."""
+
+    def setup_method(self):
+        self.p = ThreeBoundedProtocol()
+
+    def compute(self, own, others, recent=None):
+        recent = recent if recent is not None else frozenset({(own.pos, own.val)})
+        return self.p._compute(own, recent, others)
+
+    def test_t1_adopts_visible_decision(self):
+        kind, v = self.compute(rg(2, "a"), [BReg(mode="dec", pos=0, val="b"),
+                                            rg(1, "a")])
+        assert (kind, v) == ("dec", "b")
+
+    def test_t2_decides_two_ahead_of_both(self):
+        kind, v = self.compute(rg(5, "a"), [rg(3, "b"), rg(2, "b")])
+        assert (kind, v) == ("dec", "a")
+
+    def test_t2_blocked_by_close_fellow(self):
+        kind, payload = self.compute(rg(5, "a"), [rg(4, "b"), rg(2, "b")])
+        assert kind == "cand"
+
+    def test_t2_wraps_circularly(self):
+        kind, v = self.compute(rg(2, "b"), [rg(9, "a"), rg(9, "a")])
+        assert (kind, v) == ("dec", "b")
+
+    def test_t3_unanimous_seen_and_values(self):
+        kind, v = self.compute(
+            rg(4, "a", seen="a"),
+            [rg(4, "a", seen="a"), rg(5, "a", seen="a")],
+        )
+        assert (kind, v) == ("dec", "a")
+
+    def test_t3_blocked_by_mixed_seen(self):
+        kind, _ = self.compute(
+            rg(4, "a", seen=MIXED),
+            [rg(4, "a", seen=MIXED), rg(5, "a", seen=MIXED)],
+        )
+        assert kind == "cand"
+
+    def test_t3_blocked_by_value_drift(self):
+        # Our strengthening: stale all-"a" seen fields do not decide if
+        # someone currently holds b.
+        kind, payload = self.compute(
+            rg(4, "b", seen="a"),
+            [rg(4, "a", seen="a"), rg(5, "a", seen="a")],
+        )
+        assert kind == "cand"
+
+    def test_advance_adopts_unanimous_leader_value(self):
+        kind, cand = self.compute(rg(4, "b"), [rg(5, "a"), rg(5, "a")])
+        assert kind == "cand"
+        assert cand.mode == "run" and cand.pos == 5 and cand.val == "a"
+
+    def test_advance_keeps_value_on_split_leaders(self):
+        kind, cand = self.compute(rg(4, "b"), [rg(5, "a"), rg(5, "b")])
+        assert cand.val == "b"
+
+    def test_checkpoint_gate_enters_wait(self):
+        # Leader at checkpoint 3, laggard two behind: wait, not cross.
+        kind, cand = self.compute(rg(3, "a"), [rg(2, "a"), rg(1, "b")])
+        assert cand.mode == "wait" and cand.pos == 3
+
+    def test_checkpoint_crossing_when_laggard_close(self):
+        kind, cand = self.compute(rg(3, "a"), [rg(2, "a"), rg(2, "b")])
+        assert cand.mode == "run" and cand.pos == 4
+
+    def test_crossing_updates_seen_clean(self):
+        recent = frozenset({(1, "a"), (2, "a"), (3, "a")})
+        kind, cand = self.compute(rg(3, "a"), [rg(2, "a"), rg(3, "a")],
+                                  recent=recent)
+        assert cand.pos == 4 and cand.seen == "a"
+
+    def test_crossing_updates_seen_mixed(self):
+        recent = frozenset({(1, "a"), (2, "b"), (3, "a")})
+        kind, cand = self.compute(rg(3, "a"), [rg(2, "a"), rg(3, "a")],
+                                  recent=recent)
+        assert cand.seen is MIXED
+
+    def test_non_checkpoint_needs_no_gate(self):
+        kind, cand = self.compute(rg(4, "a"), [rg(4, "b"), rg(5, "b")])
+        assert cand.pos == 5
+
+    def test_wait_exit_when_all_within_one(self):
+        kind, cand = self.compute(rg(3, "a", mode="wait"),
+                                  [rg(2, "b"), rg(3, "b")])
+        assert cand.mode == "run" and cand.pos == 3 and cand.val == "a"
+
+    def test_wait_a2_decides_on_equal_fellow(self):
+        kind, v = self.compute(rg(3, "a", mode="wait"),
+                               [rg(3, "a", mode="wait"), rg(1, "b")])
+        assert (kind, v) == ("dec", "a")
+
+    def test_wait_a2_adopts_differing_fellow(self):
+        kind, cand = self.compute(rg(3, "a", mode="wait"),
+                                  [rg(3, "b", mode="wait"), rg(1, "b")])
+        assert cand.mode == "wait" and cand.val == "b"
+
+    def test_wait_with_runmode_fellow_same_value_decides(self):
+        kind, v = self.compute(rg(3, "a", mode="wait"),
+                               [rg(2, "a"), rg(1, "b")])
+        assert (kind, v) == ("dec", "a")
+
+
+class TestBoundedness:
+    def test_register_domain_is_finite(self):
+        # Every register value ever written comes from the finite set
+        # {run, wait} × 9 positions × 2 values × seen-domain ∪ {dec-a,
+        # dec-b}: check over many traced runs.
+        seen_values = set()
+        for seed in range(30):
+            result = run_protocol(ThreeBoundedProtocol(), ("a", "b", "a"),
+                                  seed=seed, record_trace=True)
+            for step in result.trace:
+                if step.op.kind == "write":
+                    seen_values.add(step.op.value)
+        for v in seen_values:
+            assert v.mode in ("run", "wait", "dec")
+            if v.mode != "dec":
+                assert 1 <= v.pos <= 9
+            assert v.val in ("a", "b")
+            assert v.seen in (None, "a", "b", MIXED)
+        # The whole domain is small — the paper's point.
+        assert len(seen_values) <= 2 + 9 * 2 * 4 + 3 * 2 * 4
+
+    def test_window_invariant_under_random_schedules(self):
+        # All three non-decided registers stay within a width-5 window:
+        # pairwise circular distance at most 4.
+        for seed in range(20):
+            result = run_protocol(ThreeBoundedProtocol(), ("a", "b", "b"),
+                                  seed=seed, record_trace=True)
+            # Re-run step by step checking the invariant.
+            from repro.sim.kernel import Simulation
+            from repro.sim.rng import ReplayableRng
+            from repro.sched.simple import RandomScheduler
+
+            rng = ReplayableRng(seed)
+            sim = Simulation(ThreeBoundedProtocol(), ("a", "b", "b"),
+                             RandomScheduler(rng.child("sched")),
+                             rng.child("kernel"))
+            while not sim.finished and sim.step_index < 5000:
+                sim.step()
+                regs = [r for r in sim.configuration.registers
+                        if r.mode != "dec" and r.val is not None]
+                for x in regs:
+                    for y in regs:
+                        assert abs(ahead(x.pos, y.pos)) <= 4, (
+                            f"window violated at step {sim.step_index}: "
+                            f"{sim.configuration.registers}"
+                        )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("inputs", [
+        ("a", "b", "a"), ("a", "b", "b"), ("a", "a", "a"),
+    ])
+    def test_exhaustive_safety_bounded_depth(self, inputs):
+        report = verify_safety(ThreeBoundedProtocol(), inputs,
+                               max_depth=13, max_states=200_000)
+        assert report.ok
+
+    @pytest.mark.parametrize("scheduler_factory", [
+        lambda rng: RandomScheduler(rng),
+        lambda rng: SplitVoteAdversary(),
+        lambda rng: LaggardFreezer(),
+        lambda rng: BlockScheduler(5),
+    ])
+    def test_monte_carlo_correct_under_adversaries(self, scheduler_factory):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeBoundedProtocol(),
+            scheduler_factory=scheduler_factory,
+            inputs_factory=lambda i, rng: rng.choice(
+                [("a", "b", "a"), ("a", "b", "b"), ("a", "a", "a")]
+            ),
+            seed=43,
+        )
+        stats = runner.run_many(200, max_steps=50_000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+
+    def test_solo_runner_decides_at_checkpoint(self):
+        # Alone, a processor advances 1→2→3 and T2-decides (both others
+        # unwritten at position 1, two behind).
+        result = run_protocol(ThreeBoundedProtocol(), ("b", "a", "a"),
+                              scheduler=FixedScheduler([0] * 200))
+        assert result.decisions[0] == "b"
+
+    def test_decision_is_written_to_register(self):
+        result = run_protocol(ThreeBoundedProtocol(), ("a", "b", "a"),
+                              seed=11, record_trace=True)
+        assert result.completed
+        dec_writes = [
+            s for s in result.trace
+            if s.op.kind == "write" and s.op.value.mode == "dec"
+        ]
+        assert dec_writes, "deciding must publish a dec value (T1 relies on it)"
+
+    def test_binary_domain_enforced(self):
+        with pytest.raises(ValueError):
+            ThreeBoundedProtocol(values=("a", "b", "c"))

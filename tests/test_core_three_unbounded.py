@@ -1,0 +1,155 @@
+"""Tests for the three-processor unbounded protocol (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import verify_safety
+from repro.core.rules import PrefNum
+from repro.core.three_unbounded import ThreeUnboundedProtocol, TUState
+from repro.sched.adversary import LaggardFreezer, SplitVoteAdversary
+from repro.sched.simple import FixedScheduler, RandomScheduler
+from repro.sim.ops import ReadOp, WriteOp
+from repro.sim.runner import ExperimentRunner
+
+from conftest import run_protocol
+
+
+class TestPhaseStructure:
+    def setup_method(self):
+        self.p = ThreeUnboundedProtocol()
+
+    def test_initial_write_carries_input_and_num_one(self):
+        s = self.p.initial_state(0, "a")
+        (branch,) = self.p.branches(0, s)
+        assert branch.op == WriteOp("r0", PrefNum("a", 1))
+
+    def test_phase_reads_both_other_registers(self):
+        s = self.p.initial_state(1, "b")
+        s = self.p.observe(1, s, WriteOp("r1", s.reg), None)
+        (b1,) = self.p.branches(1, s)
+        assert b1.op == ReadOp("r0")
+        s = self.p.observe(1, s, b1.op, PrefNum("a", 1))
+        (b2,) = self.p.branches(1, s)
+        assert b2.op == ReadOp("r2")
+
+    def test_coin_between_candidate_and_old(self):
+        s = TUState(pc="write", reg=PrefNum("a", 1), oldreg=PrefNum("a", 1),
+                    cand=PrefNum("a", 2))
+        heads, tails = self.p.branches(0, s)
+        assert heads.op.value == PrefNum("a", 2)
+        assert tails.op.value == PrefNum("a", 1)
+
+    def test_registers_are_one_writer_two_reader(self):
+        for spec in self.p.registers():
+            assert len(spec.writers) == 1
+            assert len(spec.readers) == 2
+
+    def test_decision_happens_at_second_read(self):
+        # Own [a,1]; others read as [a,1] and [a,1]: case A decides.
+        s = TUState(pc="read2", reg=PrefNum("a", 1), read_a=PrefNum("a", 1))
+        s2 = self.p.observe(0, s, ReadOp("r2"), PrefNum("a", 1))
+        assert self.p.output(0, s2) == "a"
+
+
+class TestSrswLayout:
+    def test_registers_are_single_reader(self):
+        p = ThreeUnboundedProtocol(layout="srsw")
+        specs = p.registers()
+        assert len(specs) == 6
+        for spec in specs:
+            assert len(spec.writers) == 1 and len(spec.readers) == 1
+
+    def test_writer_updates_both_copies(self):
+        p = ThreeUnboundedProtocol(layout="srsw")
+        result = run_protocol(p, ("a", "b", "a"), seed=5, record_trace=True)
+        assert result.completed and result.consistent
+        writes_1 = result.trace.writes_to("r0to1")
+        writes_2 = result.trace.writes_to("r0to2")
+        # P0's initial write plus phase writes go to both copies.
+        assert writes_1 and writes_2
+
+    def test_srsw_monte_carlo_correct(self):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeUnboundedProtocol(layout="srsw"),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b", "b"),
+            seed=19,
+        )
+        stats = runner.run_many(200, max_steps=20_000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeUnboundedProtocol(layout="mesh")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("inputs", [
+        ("a", "b", "a"), ("a", "b", "b"), ("a", "a", "a"), ("b", "b", "a"),
+    ])
+    def test_exhaustive_safety_bounded_depth(self, inputs):
+        report = verify_safety(ThreeUnboundedProtocol(), inputs,
+                               max_depth=13, max_states=200_000)
+        assert report.ok
+
+    def test_monte_carlo_consistency(self):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeUnboundedProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: rng.choice(
+                [("a", "b", "a"), ("a", "b", "b"), ("b", "a", "a")]
+            ),
+            seed=29,
+        )
+        stats = runner.run_many(400, max_steps=20_000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+
+    @pytest.mark.parametrize("adversary", [
+        lambda rng: SplitVoteAdversary(),
+        lambda rng: LaggardFreezer(),
+    ])
+    def test_adversarial_termination(self, adversary):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeUnboundedProtocol(),
+            scheduler_factory=adversary,
+            inputs_factory=lambda i, rng: ("a", "b", "b"),
+            seed=37,
+        )
+        stats = runner.run_many(200, max_steps=20_000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+
+    def test_solo_runner_decides(self):
+        # Wait-freedom: a processor scheduled alone races to num 2 and
+        # decides its own input (others still at ⊥/0).
+        result = run_protocol(ThreeUnboundedProtocol(), ("b", "a", "a"),
+                              scheduler=FixedScheduler([0] * 100))
+        assert result.decisions[0] == "b"
+
+    def test_num_growth_is_modest(self):
+        # Theorem 9: P(num = k) ≤ (3/4)^k, so double-digit nums should
+        # essentially never appear in a few hundred runs.
+        worst = 0
+        for seed in range(100):
+            result = run_protocol(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                                  seed=seed)
+            for reg in result.final_configuration.registers:
+                worst = max(worst, reg.num)
+        assert worst < 30
+
+    def test_expected_phases_constant(self):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeUnboundedProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b", "a"),
+            seed=41,
+        )
+        stats = runner.run_many(300, max_steps=20_000)
+        # "The expected running time of the protocol is a small
+        # constant" (corollary to Theorem 9) — steps per processor,
+        # at 3 steps per phase, should average well under 20 phases.
+        assert stats.mean_steps_to_decide() < 60

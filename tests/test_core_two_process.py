@@ -1,0 +1,197 @@
+"""Tests for the two-processor protocol (Figure 1, Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.theory import two_process_expected_steps_bound
+from repro.checker import classify, explore, verify_safety
+from repro.checker.valency import Valency
+from repro.core.two_process import TPState, TwoProcessProtocol
+from repro.errors import ProtocolError
+from repro.sched.adversary import DisagreementAdversary, SplitVoteAdversary
+from repro.sched.simple import FixedScheduler, RandomScheduler
+from repro.sim.ops import BOTTOM, ReadOp, WriteOp
+from repro.sim.rng import ReplayableRng
+from repro.sim.runner import ExperimentRunner
+
+from conftest import run_protocol
+
+
+class TestTransitions:
+    """Unit tests tracking Figure 1 line by line."""
+
+    def setup_method(self):
+        self.p = TwoProcessProtocol(values=("a", "b"))
+
+    def test_initial_state_is_initial_write(self):
+        s = self.p.initial_state(0, "a")
+        assert s.pc == "init" and s.pref == "a"
+        (branch,) = self.p.branches(0, s)
+        assert branch.op == WriteOp("r0", "a")
+
+    def test_register_wiring_is_srsw(self):
+        specs = {spec.name: spec for spec in self.p.registers()}
+        assert specs["r0"].writers == (0,) and specs["r0"].readers == (1,)
+        assert specs["r1"].writers == (1,) and specs["r1"].readers == (0,)
+
+    def test_after_init_reads_other_register(self):
+        s = self.p.initial_state(1, "b")
+        s = self.p.observe(1, s, WriteOp("r1", "b"), None)
+        assert s.pc == "read"
+        (branch,) = self.p.branches(1, s)
+        assert branch.op == ReadOp("r0")
+
+    def test_decides_on_equal_read(self):
+        s = TPState(pc="read", pref="a")
+        s2 = self.p.observe(0, s, ReadOp("r1"), "a")
+        assert s2.pc == "done" and self.p.output(0, s2) == "a"
+
+    def test_decides_on_bottom_read(self):
+        s = TPState(pc="read", pref="b")
+        s2 = self.p.observe(0, s, ReadOp("r1"), BOTTOM)
+        assert self.p.output(0, s2) == "b"
+
+    def test_disagreement_goes_to_coin_write(self):
+        s = TPState(pc="read", pref="a")
+        s2 = self.p.observe(0, s, ReadOp("r1"), "b")
+        assert s2.pc == "write" and s2.last_read == "b"
+        heads, tails = self.p.branches(0, s2)
+        assert heads.op == WriteOp("r0", "a")   # rewrite own
+        assert tails.op == WriteOp("r0", "b")   # adopt other's
+        assert heads.probability == tails.probability == 0.5
+
+    def test_write_updates_preference(self):
+        s = TPState(pc="write", pref="a", last_read="b")
+        s2 = self.p.observe(0, s, WriteOp("r0", "b"), None)
+        assert s2.pc == "read" and s2.pref == "b"
+
+    def test_terminal_state_has_no_branches(self):
+        s = TPState(pc="done", pref="a", output="a")
+        with pytest.raises(ProtocolError):
+            self.p.branches(0, s)
+
+    def test_rejects_bottom_input(self):
+        with pytest.raises(ValueError):
+            self.p.initial_state(0, BOTTOM)
+
+    def test_rejects_out_of_domain_input(self):
+        with pytest.raises(ValueError):
+            self.p.initial_state(0, "z")
+
+    def test_rejects_degenerate_coin(self):
+        with pytest.raises(ValueError):
+            TwoProcessProtocol(p_heads=1.5)
+
+
+class TestSoloSchedules:
+    """The paper's Lemma 2 solo runs: a processor running alone decides
+    its own input after write + read-of-⊥."""
+
+    @pytest.mark.parametrize("pid,value", [(0, "a"), (1, "b")])
+    def test_solo_decides_own_input_in_two_steps(self, pid, value):
+        result = run_protocol(
+            TwoProcessProtocol(), ("a", "b"),
+            scheduler=FixedScheduler([pid] * 10),
+        )
+        assert result.decisions[pid] == value
+        assert result.decision_activation[pid] == 2
+
+
+class TestCorrectness:
+    def test_consistency_theorem6_monte_carlo(self):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=17,
+        )
+        stats = runner.run_many(500, max_steps=2000)
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+        assert stats.completion_rate == 1.0
+
+    @pytest.mark.parametrize("inputs", [("a", "a"), ("a", "b"),
+                                        ("b", "a"), ("b", "b")])
+    def test_exhaustive_safety_full_space(self, inputs):
+        # The reachable configuration space is finite: full verification.
+        report = verify_safety(TwoProcessProtocol(), inputs)
+        assert report.ok and report.complete
+
+    def test_no_nullvalent_configuration(self):
+        # Probability-1 termination evidence: from every reachable
+        # configuration some decision remains reachable.
+        graph = explore(TwoProcessProtocol(), ("a", "b"))
+        assert graph.complete
+        vmap = classify(graph)
+        assert vmap.count(Valency.NULLVALENT) == 0
+
+    def test_initial_mixed_configuration_is_bivalent(self):
+        # Lemma 2's phenomenon, here for the randomized protocol: the
+        # adversary cannot know the outcome of I_ab in advance.
+        graph = explore(TwoProcessProtocol(), ("a", "b"))
+        vmap = classify(graph)
+        assert vmap.valency(graph.roots[0]) is Valency.BIVALENT
+
+    def test_unanimous_inputs_are_univalent(self):
+        graph = explore(TwoProcessProtocol(), ("a", "a"))
+        vmap = classify(graph)
+        assert vmap.valency(graph.roots[0]) is Valency.UNIVALENT
+        assert vmap.value(graph.roots[0]) == "a"
+
+
+class TestTermination:
+    @pytest.mark.parametrize("adversary_factory", [
+        lambda rng: RandomScheduler(rng),
+        lambda rng: DisagreementAdversary(),
+        lambda rng: SplitVoteAdversary(),
+    ])
+    def test_expected_steps_within_theorem7_bound(self, adversary_factory):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=adversary_factory,
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=23,
+        )
+        stats = runner.run_many(400, max_steps=2000)
+        assert stats.completion_rate == 1.0
+        assert stats.mean_steps_to_decide() <= two_process_expected_steps_bound()
+
+    def test_unanimous_inputs_decide_fast(self):
+        # With equal inputs every read decides immediately: exactly
+        # 2 steps per processor under any schedule.
+        for seed in range(20):
+            result = run_protocol(TwoProcessProtocol(), ("a", "a"), seed=seed)
+            assert all(k == 2 for k in result.decision_activation.values())
+
+
+class TestSkipRewriteVariant:
+    def test_footnote2_variant_correct(self):
+        for seed in range(50):
+            result = run_protocol(
+                TwoProcessProtocol(skip_redundant_rewrite=True),
+                ("a", "b"), seed=seed,
+            )
+            assert result.completed and result.consistent
+
+    def test_variant_exhaustive_safety(self):
+        report = verify_safety(
+            TwoProcessProtocol(skip_redundant_rewrite=True), ("a", "b")
+        )
+        assert report.ok and report.complete
+
+    def test_variant_saves_steps(self):
+        def mean_for(protocol_factory):
+            runner = ExperimentRunner(
+                protocol_factory=protocol_factory,
+                scheduler_factory=lambda rng: RandomScheduler(rng),
+                inputs_factory=lambda i, rng: ("a", "b"),
+                seed=31,
+            )
+            return runner.run_many(300, 2000).mean_steps_to_decide()
+
+        baseline = mean_for(lambda: TwoProcessProtocol())
+        optimized = mean_for(
+            lambda: TwoProcessProtocol(skip_redundant_rewrite=True)
+        )
+        assert optimized <= baseline

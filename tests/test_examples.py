@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs clean and says what it should.
+
+Examples are documentation that executes; if one bit-rots, the test
+suite should say so before a reader does.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["agreed on", "Every run above was checked"]),
+    ("adversarial_showdown.py",
+     ["victim decided:     NEVER", "wait-freedom in action"]),
+    ("impossibility_demo.py",
+     ["bivalent at inputs", "admits an infinite non-deciding schedule",
+      "UNDECIDED"]),
+    ("mutual_exclusion.py",
+     ["enters the critical section", "mutual exclusion held every round: True",
+      "all committed to"]),
+    ("register_tower.py", ["safe-cell", "mrsw-atomic", "atomic"]),
+    ("worst_case_adversary.py",
+     ["exact worst case = 10.0000", "optimal policy (value iteration)"]),
+    ("model_contrast.py",
+     ["Bracha-Toueg wall", "LOSES SAFETY", "survivor P1 decided"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs_and_reports(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: missing {needle!r} in output:\n"
+            f"{result.stdout[-2000:]}"
+        )

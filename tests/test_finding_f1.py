@@ -1,0 +1,88 @@
+"""Regression tests for reproduction finding F1.
+
+F1: the extended abstract's Figure 2 decision rule, read literally,
+lets a *trailing* processor decide for observed two-ahead leaders.
+Because a phase's two reads are not an atomic snapshot, the trailing
+processor's view of the third register can be arbitrarily stale, and
+the third processor can meanwhile race to an opposite-preference
+two-lead of its own — two different decisions in one run.
+
+These tests pin both sides of the finding:
+
+* the literal rule produces an actual consistency violation (we keep a
+  concrete seeded run *and* assert the Monte-Carlo harness still finds
+  violations when searching),
+* the corrected rule (decider must itself lead — as in the journal
+  version of the protocol) passes the identical searches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import PrefNum, decision, decision_literal_figure2
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.sched.simple import RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+def search_for_violation(decision_rule: str, n_runs: int = 500):
+    """Return the consistency-violating runs found in a seeded search."""
+    runner = ExperimentRunner(
+        protocol_factory=lambda: ThreeUnboundedProtocol(
+            decision_rule=decision_rule
+        ),
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: rng.choice(
+            [("a", "b", "a"), ("a", "b", "b"), ("b", "a", "a")]
+        ),
+        seed=29,  # the seed under which the bug was originally caught
+    )
+    stats = runner.run_many(n_runs, max_steps=20_000)
+    return [r for r in stats.runs if not r.consistent]
+
+
+class TestLiteralRuleIsBroken:
+    def test_rule_level_difference(self):
+        own = PrefNum("b", 2)
+        leaders = [PrefNum("a", 5), PrefNum("a", 5)]
+        assert decision_literal_figure2(own, leaders) == "a"
+        assert decision(own, leaders) is None
+
+    def test_monte_carlo_finds_violation(self):
+        violations = search_for_violation("literal")
+        assert violations, (
+            "expected the seeded search to exhibit F1's consistency "
+            "violation against the literal Figure 2 rule"
+        )
+
+    def test_violating_run_replays_deterministically(self):
+        violations = search_for_violation("literal")
+        runner = ExperimentRunner(
+            protocol_factory=lambda: ThreeUnboundedProtocol(
+                decision_rule="literal"
+            ),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: rng.choice(
+                [("a", "b", "a"), ("a", "b", "b"), ("b", "a", "a")]
+            ),
+            seed=29,
+        )
+        result = runner.run_one(violations[0].run_index, 20_000,
+                                record_trace=True)
+        assert len(result.decided_values) > 1
+        # The violation's anatomy: some processor decided while not
+        # holding the maximal num it observed (a from-behind decision).
+        assert result.trace is not None
+
+
+class TestCorrectedRuleIsClean:
+    def test_same_search_finds_nothing(self):
+        assert search_for_violation("own-leader") == []
+
+    def test_rejects_unknown_rule(self):
+        with pytest.raises(ValueError):
+            ThreeUnboundedProtocol(decision_rule="wishful")
+
+    def test_default_is_corrected(self):
+        assert ThreeUnboundedProtocol().decision_rule == "own-leader"

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These complement the exhaustive checker: hypothesis drives the
+protocols through arbitrary seeds, input assignments, coin biases, and
+adversarial schedule fragments, asserting the paper's safety
+properties and the library's structural invariants on every generated
+case.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multivalued import MultiValuedProtocol, bit_width
+from repro.core.n_process import NProcessProtocol
+from repro.core.rules import PrefNum, candidate, decision
+from repro.core.three_bounded import MIXED, ThreeBoundedProtocol, advance, ahead
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import FixedScheduler, RandomScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.ops import BOTTOM
+from repro.sim.rng import ReplayableRng, derive_seed
+
+from conftest import run_protocol
+
+
+values2 = st.sampled_from(["a", "b"])
+seeds = st.integers(min_value=0, max_value=2 ** 32)
+
+
+# ----------------------------------------------------------------------
+# RNG derivation
+# ----------------------------------------------------------------------
+
+@given(seeds, st.lists(st.one_of(st.integers(0, 2 ** 32), st.text(max_size=8)),
+                       max_size=4))
+def test_derive_seed_in_range_and_deterministic(seed, path):
+    s1 = derive_seed(seed, *path)
+    s2 = derive_seed(seed, *path)
+    assert s1 == s2
+    assert 0 <= s1 < 2 ** 64
+
+
+@given(seeds)
+def test_child_streams_replayable(seed):
+    a = ReplayableRng(seed).child("x", 1)
+    b = ReplayableRng(seed).child("x", 1)
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+# ----------------------------------------------------------------------
+# Circular position arithmetic (bounded protocol)
+# ----------------------------------------------------------------------
+
+positions = st.integers(min_value=1, max_value=9)
+
+
+@given(positions, positions)
+def test_ahead_antisymmetric_where_defined(x, y):
+    d = ahead(x, y)
+    assert -4 <= d <= 4
+    if d != -4:  # -4/+4 wrap to each other's negation ambiguously at ±4...
+        # antisymmetry holds strictly inside the window
+        if abs(d) < 4:
+            assert ahead(y, x) == -d
+
+
+@given(positions)
+def test_advance_stays_on_ring_and_moves_one(p):
+    q = advance(p)
+    assert 1 <= q <= 9
+    assert ahead(q, p) == 1
+
+
+@given(positions, st.integers(min_value=0, max_value=4))
+def test_k_advances_measure_k(p, k):
+    q = p
+    for _ in range(k):
+        q = advance(q)
+    assert ahead(q, p) == k
+
+
+# ----------------------------------------------------------------------
+# Pref/num rules
+# ----------------------------------------------------------------------
+
+prefnums = st.builds(
+    PrefNum,
+    pref=st.sampled_from(["a", "b", BOTTOM]),
+    num=st.integers(min_value=0, max_value=12),
+)
+own_prefnums = st.builds(
+    PrefNum,
+    pref=values2,
+    num=st.integers(min_value=1, max_value=12),
+)
+
+
+@given(own_prefnums, st.lists(prefnums, min_size=1, max_size=5))
+def test_candidate_increments_and_takes_existing_pref(own, others):
+    cand = candidate(own, others)
+    assert cand.num == own.num + 1
+    assert cand.pref in {own.pref} | {o.pref for o in others}
+    assert cand.pref is not BOTTOM
+
+
+@given(own_prefnums, st.lists(prefnums, min_size=1, max_size=5))
+def test_decision_value_is_a_visible_pref(own, others):
+    value = decision(own, others)
+    if value is not None:
+        assert value is not BOTTOM
+        assert value in {own.pref} | {o.pref for o in others}
+
+
+@given(own_prefnums, st.lists(prefnums, min_size=1, max_size=5))
+def test_decision_case_b_only_from_the_front(own, others):
+    value = decision(own, others)
+    prefs = {own.pref} | {o.pref for o in others if o.pref is not BOTTOM}
+    if value is not None and len(prefs) > 1:
+        # Not unanimous, so this was case B: the decider must lead.
+        assert own.num >= max(o.num for o in others)
+
+
+# ----------------------------------------------------------------------
+# Protocol runs: safety under arbitrary seeds and inputs
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(values2, values2, seeds)
+def test_two_process_safety_any_run(va, vb, seed):
+    result = run_protocol(TwoProcessProtocol(), (va, vb), seed=seed)
+    assert result.completed
+    assert result.consistent and result.nontrivial
+    # Decisions are always inputs; with unanimous inputs, that value.
+    if va == vb:
+        assert result.decided_values == {va}
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.tuples(values2, values2, values2), seeds)
+def test_three_unbounded_safety_any_run(inputs, seed):
+    result = run_protocol(ThreeUnboundedProtocol(), inputs, seed=seed,
+                          max_steps=100_000)
+    assert result.completed
+    assert result.consistent and result.nontrivial
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.tuples(values2, values2, values2), seeds)
+def test_three_bounded_safety_any_run(inputs, seed):
+    result = run_protocol(ThreeBoundedProtocol(), inputs, seed=seed,
+                          max_steps=100_000)
+    assert result.completed
+    assert result.consistent and result.nontrivial
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=6), seeds, st.data())
+def test_n_process_safety_any_run(n, seed, data):
+    inputs = tuple(
+        data.draw(values2, label=f"input{i}") for i in range(n)
+    )
+    result = run_protocol(NProcessProtocol(n), inputs, seed=seed,
+                          max_steps=200_000)
+    assert result.completed
+    assert result.consistent and result.nontrivial
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.1, max_value=0.9), seeds)
+def test_biased_coins_preserve_safety(p_heads, seed):
+    # The coin bias is a termination knob, never a safety knob.
+    result = run_protocol(
+        ThreeUnboundedProtocol(p_heads=p_heads), ("a", "b", "a"),
+        seed=seed, max_steps=200_000,
+    )
+    assert result.consistent and result.nontrivial
+
+
+# ----------------------------------------------------------------------
+# Adversarial schedule fragments
+# ----------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=40), seeds)
+def test_two_process_safety_under_arbitrary_prefix(prefix, seed):
+    # Any hand-crafted schedule prefix (then round-robin) keeps safety.
+    rng = ReplayableRng(seed)
+    sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                     FixedScheduler(prefix), rng)
+    result = sim.run(5_000)
+    assert result.consistent and result.nontrivial
+    assert result.completed
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=1,
+                max_size=60), seeds)
+def test_three_bounded_safety_under_arbitrary_prefix(prefix, seed):
+    rng = ReplayableRng(seed)
+    sim = Simulation(ThreeBoundedProtocol(), ("a", "b", "b"),
+                     FixedScheduler(prefix), rng)
+    result = sim.run(100_000)
+    assert result.consistent and result.nontrivial
+    assert result.completed
+
+
+# ----------------------------------------------------------------------
+# Multivalued reduction
+# ----------------------------------------------------------------------
+
+@given(st.integers(min_value=2, max_value=10 ** 6))
+def test_bit_width_bounds(k):
+    w = bit_width(k)
+    assert 2 ** w >= k
+    assert w == 1 or 2 ** (w - 1) < k
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=9), seeds, st.data())
+def test_multivalued_decides_an_input(k, seed, data):
+    values = tuple(f"v{i}" for i in range(k))
+    inputs = (
+        data.draw(st.sampled_from(values)),
+        data.draw(st.sampled_from(values)),
+    )
+    protocol = MultiValuedProtocol(
+        base_factory=lambda: TwoProcessProtocol(values=(0, 1)),
+        values=values,
+    )
+    result = run_protocol(protocol, inputs, seed=seed, max_steps=200_000)
+    assert result.completed
+    assert result.consistent
+    assert result.decided_values.issubset(set(inputs))

@@ -1,0 +1,191 @@
+"""Tests for the register-history semantic checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registers.conditions import (
+    check_atomic,
+    check_atomic_bruteforce,
+    check_regular,
+    check_safe,
+)
+from repro.registers.history import History, Interval
+
+
+def h(initial=0):
+    return History(initial=initial)
+
+
+def W(value, invoke, respond, thread="W"):
+    return Interval(kind="write", value=value, thread=thread,
+                    invoke=invoke, respond=respond)
+
+
+def R(value, invoke, respond, thread="R0"):
+    return Interval(kind="read", value=value, thread=thread,
+                    invoke=invoke, respond=respond)
+
+
+class TestIntervalBasics:
+    def test_must_take_time(self):
+        with pytest.raises(ValueError):
+            Interval(kind="read", value=0, thread="R", invoke=5, respond=5)
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Interval(kind="rmw", value=0, thread="R", invoke=1, respond=2)
+
+    def test_precedes_and_overlaps(self):
+        a, b = R(0, 1, 2), R(0, 3, 4)
+        assert a.precedes(b) and not b.precedes(a)
+        c = R(0, 2, 3)
+        assert a.overlaps(c) and c.overlaps(b)
+
+
+class TestSequentialHistories:
+    def test_simple_correct_history_is_atomic(self):
+        hist = h()
+        hist.record(W(1, 1, 2))
+        hist.record(R(1, 3, 4))
+        hist.record(W(2, 5, 6))
+        hist.record(R(2, 7, 8))
+        assert check_safe(hist).ok
+        assert check_regular(hist).ok
+        assert check_atomic(hist).ok
+        assert check_atomic_bruteforce(hist).ok
+
+    def test_initial_value_readable(self):
+        hist = h(initial=9)
+        hist.record(R(9, 1, 2))
+        assert check_atomic(hist).ok
+
+    def test_wrong_quiescent_read_fails_safe(self):
+        hist = h()
+        hist.record(W(1, 1, 2))
+        hist.record(R(0, 3, 4))  # stale: no overlap, must return 1
+        assert not check_safe(hist).ok
+        assert not check_regular(hist).ok
+
+    def test_overlapping_writes_unchecked(self):
+        hist = h()
+        hist.record(W(1, 1, 5))
+        hist.record(W(2, 2, 6))
+        assert not check_regular(hist).ok
+        assert "overlap" in check_regular(hist).violations[0]
+
+
+class TestRegularity:
+    def test_overlapping_read_may_return_old(self):
+        hist = h()
+        hist.record(W(1, 2, 6))
+        hist.record(R(0, 3, 4))  # inside the write: old value OK
+        assert check_regular(hist).ok
+
+    def test_overlapping_read_may_return_new(self):
+        hist = h()
+        hist.record(W(1, 2, 6))
+        hist.record(R(1, 3, 4))
+        assert check_regular(hist).ok
+
+    def test_overlapping_read_may_not_invent(self):
+        hist = h()
+        hist.record(W(1, 2, 6))
+        hist.record(R(7, 3, 4))
+        assert not check_regular(hist).ok
+
+    def test_safe_allows_garbage_under_overlap(self):
+        hist = h()
+        hist.record(W(1, 2, 6))
+        hist.record(R(7, 3, 4))  # garbage, but overlapping: safe is fine
+        assert check_safe(hist).ok
+
+
+class TestAtomicity:
+    def new_old_inversion_history(self):
+        # w1 then w2 overlapping two sequential reads: first read sees
+        # the new value, second (later) read sees the old one.
+        hist = h()
+        hist.record(W(1, 1, 2))
+        hist.record(W(2, 3, 10))
+        hist.record(R(2, 4, 5))   # new
+        hist.record(R(1, 6, 7))   # then old — inversion
+        return hist
+
+    def test_new_old_inversion_is_regular_but_not_atomic(self):
+        hist = self.new_old_inversion_history()
+        assert check_regular(hist).ok
+        assert not check_atomic(hist).ok
+        assert "inversion" in check_atomic(hist).violations[0]
+
+    def test_bruteforce_agrees_on_inversion(self):
+        hist = self.new_old_inversion_history()
+        assert not check_atomic_bruteforce(hist).ok
+
+    def test_concurrent_reads_may_disagree(self):
+        # Two overlapping reads during a write may split old/new freely.
+        hist = h()
+        hist.record(W(1, 1, 2))
+        hist.record(W(2, 3, 10))
+        hist.record(R(2, 4, 6))
+        hist.record(R(1, 5, 7))  # overlaps the other read: no inversion
+        assert check_atomic(hist).ok
+        assert check_atomic_bruteforce(hist).ok
+
+    def test_atomicity_requires_unique_writes(self):
+        hist = h()
+        hist.record(W(1, 1, 2))
+        hist.record(W(1, 3, 4))
+        hist.record(R(1, 5, 6))
+        result = check_atomic(hist)
+        assert not result.ok and "distinct" in result.violations[0]
+
+    def test_read_from_the_future_rejected(self):
+        hist = h()
+        hist.record(R(1, 1, 2))   # reads 1 before anyone wrote it
+        hist.record(W(1, 3, 4))
+        assert not check_regular(hist).ok
+        assert not check_atomic_bruteforce(hist).ok
+
+    def test_bruteforce_cap(self):
+        hist = h()
+        for i in range(1, 9):
+            hist.record(W(i, 2 * i, 2 * i + 1))
+        with pytest.raises(ValueError):
+            check_atomic_bruteforce(hist, max_ops=4)
+
+
+class TestCrossValidation:
+    """The fast single-writer checker and the brute-force linearization
+    search must agree on randomized small histories."""
+
+    def test_random_histories_agree(self):
+        import random
+
+        rng = random.Random(7)
+        agreements = 0
+        for _trial in range(120):
+            hist = h()
+            t = 1
+            writes = []
+            for i in range(1, rng.randint(2, 4)):
+                start = t + rng.randint(0, 2)
+                end = start + rng.randint(1, 4)
+                hist.record(W(i, start, end))
+                writes.append(i)
+                t = end + rng.randint(0, 2) + 1
+            n_reads = rng.randint(1, 3)
+            for _r in range(n_reads):
+                start = rng.randint(1, t)
+                end = start + rng.randint(1, 5)
+                value = rng.choice([0] + writes)
+                hist.record(
+                    R(value, start, end, thread=f"R{rng.randint(0, 1)}")
+                )
+            if not hist.writes_are_sequential():
+                continue
+            fast = check_atomic(hist).ok
+            brute = check_atomic_bruteforce(hist).ok
+            assert fast == brute, f"disagree on:\n{hist.render()}"
+            agreements += 1
+        assert agreements >= 60  # enough checkable samples drawn

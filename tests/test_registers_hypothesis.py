@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the register substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.registers.conditions import (
+    check_atomic,
+    check_atomic_bruteforce,
+    check_regular,
+    check_safe,
+)
+from repro.registers.history import History, Interval
+from repro.registers.workload import run_register_workload
+
+
+# ----------------------------------------------------------------------
+# Random single-writer histories: checker lattice + oracle agreement
+# ----------------------------------------------------------------------
+
+@st.composite
+def single_writer_histories(draw):
+    """A random single-writer history with distinct written values."""
+    n_writes = draw(st.integers(min_value=1, max_value=4))
+    history = History(initial=0)
+    t = 1
+    writes = []
+    for i in range(1, n_writes + 1):
+        start = t + draw(st.integers(0, 2))
+        end = start + draw(st.integers(1, 4))
+        history.record(Interval(kind="write", value=i, thread="W",
+                                invoke=start, respond=end))
+        writes.append(i)
+        t = end + 1 + draw(st.integers(0, 2))
+    horizon = t + 5
+    for r in range(draw(st.integers(1, 4))):
+        start = draw(st.integers(1, horizon))
+        end = start + draw(st.integers(1, 5))
+        value = draw(st.sampled_from([0] + writes))
+        history.record(Interval(kind="read", value=value,
+                                thread=f"R{r % 2}",
+                                invoke=start, respond=end))
+    return history
+
+
+@settings(max_examples=150, deadline=None)
+@given(single_writer_histories())
+def test_checker_lattice(history):
+    """atomic ⊆ regular ⊆ safe on single-writer histories."""
+    atomic = check_atomic(history).ok
+    regular = check_regular(history).ok
+    safe = check_safe(history).ok
+    if atomic:
+        assert regular
+    if regular:
+        assert safe
+
+
+@settings(max_examples=150, deadline=None)
+@given(single_writer_histories())
+def test_fast_checker_agrees_with_bruteforce(history):
+    fast = check_atomic(history).ok
+    brute = check_atomic_bruteforce(history).ok
+    assert fast == brute, history.render()
+
+
+# ----------------------------------------------------------------------
+# Constructions under randomized workload shapes
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2 ** 32),
+    n_writes=st.integers(2, 10),
+    n_reads=st.integers(2, 10),
+)
+def test_srsw_atomic_construction_any_workload(seed, n_writes, n_reads):
+    report = run_register_workload("srsw-atomic", seed=seed,
+                                   n_writes=n_writes, n_readers=1,
+                                   n_reads=n_reads)
+    assert report.atomic.ok, report.atomic.render()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2 ** 32),
+    n_readers=st.integers(2, 4),
+)
+def test_mrsw_atomic_construction_any_readers(seed, n_readers):
+    report = run_register_workload("mrsw-atomic", seed=seed,
+                                   n_readers=n_readers, n_reads=4)
+    assert report.atomic.ok, report.atomic.render()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 32), n_writes=st.integers(2, 12))
+def test_unary_regular_construction_any_workload(seed, n_writes):
+    report = run_register_workload("unary-regular", seed=seed,
+                                   n_writes=n_writes)
+    assert report.regular.ok, report.regular.render()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 32))
+def test_regular_from_safe_any_workload(seed):
+    report = run_register_workload("regular-from-safe", seed=seed)
+    assert report.regular.ok, report.regular.render()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2 ** 32))
+def test_histories_are_well_formed(seed):
+    report = run_register_workload("atomic-cell", seed=seed)
+    history = report.history
+    assert history.writes_are_sequential()
+    assert history.writes_are_unique()
+    for op in history:
+        assert op.invoke < op.respond

@@ -1,0 +1,160 @@
+"""Tests for the interval-time concurrency model and cell semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegisterSemanticsError
+from repro.registers.interval import IntervalSim
+
+
+def overlap_experiment(cell_kind, resolver=None, seed=0):
+    """One writer (0 -> 1) overlapping one reader; return the value read."""
+    sim = IntervalSim(seed=seed, resolver=resolver)
+    factory = getattr(sim, f"{cell_kind}_cell")
+    cell = factory("x", initial=0, domain=(0, 1))
+    out = []
+
+    def writer():
+        yield from sim.write_cell(cell, 1)
+
+    def reader():
+        v = yield from sim.read_cell(cell)
+        out.append(v)
+
+    w = sim.spawn("w", writer())
+    r = sim.spawn("r", reader())
+    # Force full overlap: begin read, begin write, end write, end read.
+    r.step()
+    w.step()
+    w.step()
+    r.step()
+    return out[0]
+
+
+class TestCellSemantics:
+    def test_safe_cell_overlap_consults_resolver(self):
+        picked = []
+
+        def resolver(kind, choices):
+            picked.append((kind, tuple(choices)))
+            return choices[-1]
+
+        value = overlap_experiment("safe", resolver)
+        assert picked and picked[0][0] == "safe"
+        assert picked[0][1] == (0, 1)  # the whole domain
+        assert value == 1
+
+    def test_regular_cell_overlap_offers_old_and_new(self):
+        picked = []
+
+        def resolver(kind, choices):
+            picked.append((kind, tuple(choices)))
+            return choices[0]
+
+        value = overlap_experiment("regular", resolver)
+        assert picked[0][0] == "regular"
+        assert set(picked[0][1]) == {0, 1}  # old value and written value
+        assert value == 0
+
+    def test_atomic_cell_overlap_returns_latest_begun(self):
+        assert overlap_experiment("atomic") == 1
+
+    def test_quiescent_reads_return_committed(self):
+        for kind in ("safe", "regular", "atomic"):
+            sim = IntervalSim(seed=1)
+            cell = getattr(sim, f"{kind}_cell")("x", initial=7,
+                                                domain=(7, 8))
+            out = []
+
+            def reader():
+                v = yield from sim.read_cell(cell)
+                out.append(v)
+
+            sim.spawn("r", reader())
+            sim.run()
+            assert out == [7], kind
+
+    def test_sequential_write_then_read(self):
+        sim = IntervalSim(seed=2)
+        cell = sim.safe_cell("x", initial=0, domain=(0, 1))
+        out = []
+
+        def program():
+            yield from sim.write_cell(cell, 1)
+            v = yield from sim.read_cell(cell)
+            out.append(v)
+
+        sim.spawn("p", program())
+        sim.run()
+        assert out == [1]
+
+    def test_single_writer_enforced(self):
+        sim = IntervalSim(seed=3)
+        cell = sim.safe_cell("x", initial=0, domain=(0, 1))
+        cell.begin_write(1)
+        with pytest.raises(RegisterSemanticsError):
+            cell.begin_write(0)
+
+    def test_end_write_requires_begin(self):
+        sim = IntervalSim(seed=3)
+        cell = sim.regular_cell("x", initial=0, domain=(0, 1))
+        with pytest.raises(RegisterSemanticsError):
+            cell.end_write()
+
+
+class TestEngine:
+    def test_event_budget_enforced(self):
+        sim = IntervalSim(seed=4)
+        cell = sim.atomic_cell("x", initial=0)
+
+        def forever():
+            while True:
+                yield from sim.write_cell(cell, 1)
+
+        sim.spawn("w", forever())
+        with pytest.raises(RegisterSemanticsError):
+            sim.run(max_events=100)
+
+    def test_interleaving_is_seeded(self):
+        def orders(seed):
+            sim = IntervalSim(seed=seed)
+            cell = sim.atomic_cell("x", initial=0)
+            log = []
+
+            def prog(name):
+                for i in range(3):
+                    yield from sim.write_cell(cell, i) if name == "w" \
+                        else sim.read_cell(cell)
+                    log.append(name)
+
+            sim.spawn("w", prog("w"))
+            sim.spawn("r", prog("r"))
+            sim.run()
+            return log
+
+        assert orders(5) == orders(5)
+
+    def test_total_cell_events_accumulate(self):
+        sim = IntervalSim(seed=6)
+        cell = sim.atomic_cell("x", initial=0)
+
+        def writer():
+            yield from sim.write_cell(cell, 1)
+
+        sim.spawn("w", writer())
+        sim.run()
+        assert sim.total_cell_events == 2  # begin + end
+
+    def test_finished_thread_refuses_steps(self):
+        sim = IntervalSim(seed=7)
+
+        def noop():
+            return
+            yield
+
+        t = sim.spawn("t", noop())
+        t.step()
+        assert t.finished
+        with pytest.raises(RegisterSemanticsError):
+            t.step()

@@ -1,0 +1,138 @@
+"""Tests for the adaptive adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naive import NaiveProtocol
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.adversary import (
+    AdaptiveAdversary,
+    DisagreementAdversary,
+    LaggardFreezer,
+    NaiveKillerAdversary,
+    SplitVoteAdversary,
+)
+from repro.sched.simple import FixedScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+
+from conftest import run_protocol
+
+
+class TestAdaptiveAdversary:
+    def test_strategy_is_consulted(self):
+        seen = []
+
+        def strategy(view):
+            seen.append(view.step_index)
+            return view.enabled[-1]
+
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         AdaptiveAdversary(strategy), ReplayableRng(0))
+        rec = sim.step()
+        assert rec.pid == 1
+        assert seen == [0]
+
+    def test_none_falls_back_to_enabled(self):
+        adversary = AdaptiveAdversary(lambda view: None, label="lazy")
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=adversary)
+        assert result.completed
+        assert "lazy" in adversary.name
+
+    def test_invalid_choice_falls_back(self):
+        adversary = AdaptiveAdversary(lambda view: 99)
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=adversary)
+        assert result.completed
+
+
+class TestDisagreementAdversary:
+    def test_cannot_prevent_termination(self):
+        for seed in range(30):
+            result = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=seed,
+                                  scheduler=DisagreementAdversary())
+            assert result.completed and result.consistent
+
+    def test_prefers_reader_under_disagreement(self):
+        # Drive both processors past their initial writes so registers
+        # disagree and both are about to read.
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         FixedScheduler([0, 1]), ReplayableRng(0))
+        sim.step(), sim.step()
+        adversary = DisagreementAdversary()
+        sim.scheduler = adversary
+        rec = sim.step()
+        # Both are readers; the adversary must pick one of them (P0 by
+        # its deterministic tie-break), and the step is a read.
+        assert rec.op.kind == "read"
+
+
+class TestNaiveKiller:
+    def test_starves_naive_victim_forever(self):
+        result = run_protocol(
+            NaiveProtocol(3), ("a", "a", "a"), seed=7,
+            scheduler=NaiveKillerAdversary(), max_steps=3000,
+        )
+        # The victim is activated unboundedly but never decides; the
+        # frozen pair never decides either (they are simply starved).
+        assert not result.completed
+        assert 2 not in result.decisions
+        assert result.activations[2] > 1000
+
+    def test_harmless_against_real_protocol(self):
+        result = run_protocol(
+            ThreeUnboundedProtocol(), ("a", "a", "a"), seed=7,
+            scheduler=NaiveKillerAdversary(), max_steps=3000,
+        )
+        # The Figure 2 victim out-races the frozen pair by two and
+        # decides alone — the paper's contrast (benchmark E4).
+        assert 2 in result.decisions
+
+    def test_requires_distinct_roles(self):
+        with pytest.raises(ValueError):
+            NaiveKillerAdversary(a=0, b=0, victim=1)
+
+
+class TestLaggardFreezer:
+    def test_starves_minimum_progress_processor(self):
+        result = run_protocol(
+            ThreeUnboundedProtocol(), ("a", "b", "b"), seed=3,
+            scheduler=LaggardFreezer(), max_steps=5000,
+        )
+        # The two leaders must decide; wait-freedom means the run
+        # completes once the laggard is the only one left (it finally
+        # gets scheduled when the others halt).
+        assert result.consistent
+        assert len(result.decisions) >= 2
+
+    def test_custom_progress_measure(self):
+        calls = []
+
+        def progress(view, pid):
+            calls.append(pid)
+            return -pid  # freeze the highest pid
+
+        result = run_protocol(
+            ThreeUnboundedProtocol(), ("a", "b", "b"), seed=3,
+            scheduler=LaggardFreezer(progress_of=progress), max_steps=5000,
+        )
+        assert calls  # measure consulted
+        assert result.consistent
+
+
+class TestSplitVote:
+    def test_cannot_prevent_termination(self):
+        for seed in range(10):
+            result = run_protocol(
+                ThreeUnboundedProtocol(), ("a", "b", "a"), seed=seed,
+                scheduler=SplitVoteAdversary(), max_steps=20000,
+            )
+            assert result.completed and result.consistent
+
+    def test_works_on_two_process(self):
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=SplitVoteAdversary())
+        assert result.completed and result.consistent

@@ -1,0 +1,84 @@
+"""Tests for fail-stop crash injection."""
+
+from __future__ import annotations
+
+from repro.core.n_process import NProcessProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.crash import CrashPlan, CrashingScheduler
+from repro.sched.simple import RoundRobinScheduler
+
+from conftest import run_protocol
+
+
+class TestCrashPlan:
+    def test_after_activations(self):
+        plan = CrashPlan(after_activations={1: 1})
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=scheduler)
+        assert 1 in result.crashed
+        assert result.decisions.get(0) is not None
+
+    def test_at_step(self):
+        plan = CrashPlan(at_step={2: 1})
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=scheduler, record_trace=True)
+        assert 1 in result.crashed
+        crash = result.trace.crashes[0]
+        assert crash.index == 2
+
+    def test_adaptive_rule(self):
+        fired = []
+
+        def rule(view):
+            if view.step_index == 3 and not fired:
+                fired.append(True)
+                return 1
+            return None
+
+        plan = CrashPlan(rule=rule)
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=scheduler)
+        assert 1 in result.crashed
+
+    def test_kill_all_but_survivor(self):
+        n = 5
+        plan = CrashPlan.kill_all_but(survivor=3, n=n)
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(
+            NProcessProtocol(n), tuple("ababa"), scheduler=scheduler,
+            max_steps=100_000,
+        )
+        assert result.crashed == frozenset({0, 1, 2, 4})
+        # The lone survivor still decides: wait-freedom with t = n-1.
+        assert 3 in result.decisions
+        assert result.consistent and result.nontrivial
+
+    def test_never_kills_last_processor(self):
+        # Plan tries to kill everyone; the wrapper must keep one alive.
+        plan = CrashPlan(after_activations={0: 1, 1: 1})
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=scheduler)
+        assert len(result.crashed) <= 1
+        assert result.decisions  # someone decided
+
+    def test_directives_fire_once(self):
+        plan = CrashPlan(after_activations={1: 1})
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(
+            NProcessProtocol(3), ("a", "b", "a"), scheduler=scheduler,
+        )
+        assert result.crashed == frozenset({1})
+
+    def test_crash_of_decided_processor_is_retired(self):
+        # Crash P0 only after it has taken 50 activations — it will have
+        # decided long before, so the directive must retire harmlessly.
+        plan = CrashPlan(after_activations={0: 50})
+        scheduler = CrashingScheduler(RoundRobinScheduler(), plan)
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=scheduler)
+        assert result.completed
+        assert not result.crashed

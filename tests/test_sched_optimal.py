@@ -1,0 +1,165 @@
+"""Tests for the exact game-solving adversary.
+
+The headline: the two-processor protocol's worst-case expected decision
+cost, over *all* adaptive adversaries, is exactly 10 — the paper's
+corollary bound 2 + 4·2 is tight, and value iteration proves it
+numerically (finding F4 in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.two_process import TwoProcessProtocol
+from repro.errors import ExplorationLimitError
+from repro.sched.optimal import GameSolution, OptimalAdversary, solve_game
+from repro.sim.runner import ExperimentRunner
+
+from conftest import run_protocol
+
+
+class TestGameSolving:
+    def test_per_processor_value_is_exactly_ten(self):
+        for victim in (0, 1):
+            sol = solve_game(TwoProcessProtocol(), ("a", "b"),
+                             cost_model=f"processor:{victim}")
+            assert sol.value == pytest.approx(10.0, abs=1e-9)
+
+    def test_total_steps_value(self):
+        sol = solve_game(TwoProcessProtocol(), ("a", "b"),
+                         cost_model="total")
+        # Exact worst-case expected steps until both decide.
+        assert sol.value == pytest.approx(16.0, abs=1e-9)
+
+    def test_unanimous_inputs_trivial_game(self):
+        sol = solve_game(TwoProcessProtocol(), ("a", "a"),
+                         cost_model="processor:0")
+        # Write + deciding read: the adversary can force nothing more.
+        assert sol.value == pytest.approx(2.0, abs=1e-9)
+
+    def test_skip_rewrite_variant_is_cheaper_even_at_worst_case(self):
+        base = solve_game(TwoProcessProtocol(), ("a", "b"),
+                          cost_model="processor:0")
+        skip = solve_game(TwoProcessProtocol(skip_redundant_rewrite=True),
+                          ("a", "b"), cost_model="processor:0")
+        assert skip.value < base.value
+
+    def test_biased_coin_worsens_worst_case(self):
+        fair = solve_game(TwoProcessProtocol(), ("a", "b"),
+                          cost_model="processor:0")
+        biased = solve_game(TwoProcessProtocol(p_heads=0.9), ("a", "b"),
+                            cost_model="processor:0")
+        assert biased.value > fair.value
+
+    def test_policy_covers_nonterminal_configs(self):
+        sol = solve_game(TwoProcessProtocol(), ("a", "b"),
+                         cost_model="total")
+        assert sol.policy and all(pid in (0, 1) for pid in sol.policy.values())
+
+    def test_rejects_unknown_cost_model(self):
+        with pytest.raises(ValueError):
+            solve_game(TwoProcessProtocol(), ("a", "b"),
+                       cost_model="vibes")
+
+    def test_rejects_infinite_state_protocols(self):
+        from repro.core.three_unbounded import ThreeUnboundedProtocol
+
+        with pytest.raises(ExplorationLimitError):
+            solve_game(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                       max_states=2_000)
+
+
+class TestPolicyEvaluation:
+    def test_uniform_random_matches_monte_carlo(self):
+        from repro.sched.optimal import evaluate_policy
+        from repro.sched.simple import RandomScheduler
+
+        exact = evaluate_policy(TwoProcessProtocol(), ("a", "b"),
+                                lambda c, enabled: None)
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=8,
+        )
+        stats = runner.run_many(4000, 4000)
+        measured = sum(
+            r.steps_to_decide[0] for r in stats.runs
+        ) / len(stats.runs)
+        # 4000 samples should land within ~5% of the exact expectation.
+        assert measured == pytest.approx(exact.value, rel=0.05)
+
+    def test_min_id_policy_is_the_solo_run(self):
+        from repro.sched.optimal import evaluate_policy
+
+        exact = evaluate_policy(TwoProcessProtocol(), ("a", "b"),
+                                lambda c, enabled: enabled[0])
+        # P0 runs first and alone: initial write + deciding ⊥-read.
+        assert exact.value == pytest.approx(2.0, abs=1e-9)
+
+    def test_fixed_policies_never_exceed_the_game_value(self):
+        from repro.sched.optimal import evaluate_policy
+
+        opt = solve_game(TwoProcessProtocol(), ("a", "b"),
+                         cost_model="processor:0")
+        for policy in (lambda c, e: None, lambda c, e: e[0],
+                       lambda c, e: e[-1]):
+            exact = evaluate_policy(TwoProcessProtocol(), ("a", "b"),
+                                    policy)
+            assert exact.value <= opt.value + 1e-9
+
+    def test_bad_policy_rejected(self):
+        from repro.sched.optimal import evaluate_policy
+
+        with pytest.raises(ValueError):
+            evaluate_policy(TwoProcessProtocol(), ("a", "b"),
+                            lambda c, enabled: 99)
+
+
+class TestOptimalAdversaryScheduler:
+    def test_monte_carlo_approaches_game_value(self):
+        sol = solve_game(TwoProcessProtocol(), ("a", "b"),
+                         cost_model="processor:0")
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: OptimalAdversary(sol),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=5,
+        )
+        stats = runner.run_many(3000, 4000)
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        costs = [r.steps_to_decide[0] for r in stats.runs]
+        mean = sum(costs) / len(costs)
+        # Within sampling error of the exact value 10.
+        assert 9.0 <= mean <= 11.0
+
+    def test_optimal_beats_heuristic_adversaries(self):
+        from repro.sched.adversary import DisagreementAdversary
+
+        sol = solve_game(TwoProcessProtocol(), ("a", "b"),
+                         cost_model="processor:0")
+
+        def mean_for(factory):
+            runner = ExperimentRunner(
+                protocol_factory=lambda: TwoProcessProtocol(),
+                scheduler_factory=factory,
+                inputs_factory=lambda i, rng: ("a", "b"),
+                seed=6,
+            )
+            stats = runner.run_many(1500, 4000)
+            return sum(
+                r.steps_to_decide[0] for r in stats.runs
+            ) / len(stats.runs)
+
+        assert (mean_for(lambda rng: OptimalAdversary(sol))
+                > mean_for(lambda rng: DisagreementAdversary()) + 2.0)
+
+    def test_policy_fallback_is_safe(self):
+        # Use a policy solved for different inputs: the scheduler must
+        # still drive runs to completion via its fallback.
+        sol = solve_game(TwoProcessProtocol(), ("a", "a"),
+                         cost_model="total")
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"),
+                              scheduler=OptimalAdversary(sol))
+        assert result.completed and result.consistent

@@ -1,0 +1,121 @@
+"""Tests for the benign schedulers."""
+
+from __future__ import annotations
+
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import (
+    BlockScheduler,
+    FixedScheduler,
+    ObliviousScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+
+from conftest import run_protocol
+
+
+def schedule_of(protocol, inputs, scheduler, steps):
+    sim = Simulation(protocol, inputs, scheduler, ReplayableRng(0),
+                     record_trace=True)
+    for _ in range(steps):
+        if sim.finished:
+            break
+        sim.step()
+    return sim.trace.schedule()
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            RoundRobinScheduler(), 6)
+        assert sched == [0, 1, 2, 0, 1, 2]
+
+    def test_custom_start(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            RoundRobinScheduler(start=2), 3)
+        assert sched == [2, 0, 1]
+
+    def test_skips_decided_processors(self):
+        # Run a two-process instance to P0's decision, then the round
+        # robin must only schedule P1.
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         FixedScheduler([0, 0]), ReplayableRng(0))
+        sim.step(), sim.step()
+        assert sim.decisions == {0: "a"}
+        rr = RoundRobinScheduler()
+        sim.scheduler = rr
+        rec = sim.step()
+        assert rec.pid == 1
+
+
+class TestFixedScheduler:
+    def test_follows_sequence_then_round_robin(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            FixedScheduler([2, 2, 1]), 5)
+        assert sched[:3] == [2, 2, 1]
+        # Fallback keeps making progress.
+        assert len(sched) == 5
+
+    def test_skips_halted_entries(self):
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         FixedScheduler([0, 0, 0, 0, 1]), ReplayableRng(0),
+                         record_trace=True)
+        sim.run(10)
+        # P0 decided after two steps; the remaining 0-entries are skipped.
+        assert sim.trace.schedule()[:3] == [0, 0, 1]
+
+
+class TestRandomScheduler:
+    def test_all_processors_get_scheduled(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            RandomScheduler(ReplayableRng(5)), 30)
+        assert set(sched) == {0, 1, 2}
+
+    def test_seeded_reproducibility(self):
+        a = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                        RandomScheduler(ReplayableRng(5)), 20)
+        b = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                        RandomScheduler(ReplayableRng(5)), 20)
+        assert a == b
+
+
+class TestBlockScheduler:
+    def test_blocks_of_k(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            BlockScheduler(3), 9)
+        assert sched == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_custom_order(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            BlockScheduler(2, order=[2, 0, 1]), 6)
+        assert sched == [2, 2, 0, 0, 1, 1]
+
+    def test_block_one_is_round_robin(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            BlockScheduler(1), 6)
+        assert sched == [0, 1, 2, 0, 1, 2]
+
+    def test_rejects_bad_block(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BlockScheduler(0)
+
+
+class TestObliviousScheduler:
+    def test_produces_valid_runs(self):
+        result = run_protocol(
+            ThreeUnboundedProtocol(), ("a", "b", "b"),
+            scheduler=ObliviousScheduler(ReplayableRng(9)),
+        )
+        assert result.completed and result.consistent
+
+    def test_bursty_pattern(self):
+        sched = schedule_of(ThreeUnboundedProtocol(), ("a", "b", "a"),
+                            ObliviousScheduler(ReplayableRng(1), burst_max=5),
+                            40)
+        # Bursts imply consecutive repeats somewhere in 40 steps.
+        assert any(a == b for a, b in zip(sched, sched[1:]))

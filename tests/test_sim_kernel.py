@@ -1,0 +1,174 @@
+"""Tests for the simulation kernel: stepping, decisions, crashes, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.two_process import TwoProcessProtocol
+from repro.core.naive import NaiveProtocol
+from repro.errors import AccessViolation, SimulationError
+from repro.sched.simple import FixedScheduler, RoundRobinScheduler
+from repro.sim.kernel import Activate, Crash, Simulation
+from repro.sim.ops import BOTTOM, ReadOp, WriteOp
+from repro.sim.rng import ReplayableRng
+
+from conftest import run_protocol
+
+
+def make_sim(protocol=None, inputs=("a", "b"), scheduler=None, seed=0,
+             record_trace=False):
+    protocol = protocol or TwoProcessProtocol()
+    scheduler = scheduler or RoundRobinScheduler()
+    return Simulation(protocol, inputs, scheduler, ReplayableRng(seed),
+                      record_trace=record_trace)
+
+
+class TestStepping:
+    def test_first_steps_are_initial_writes(self):
+        sim = make_sim()
+        rec0 = sim.step()
+        rec1 = sim.step()
+        assert isinstance(rec0.op, WriteOp) and rec0.op.register == "r0"
+        assert isinstance(rec1.op, WriteOp) and rec1.op.register == "r1"
+        assert rec0.op.value == "a" and rec1.op.value == "b"
+
+    def test_read_returns_register_content(self):
+        sim = make_sim()
+        sim.step()  # P0 writes a
+        sim.step()  # P1 writes b
+        rec = sim.step()  # P0 reads r1
+        assert isinstance(rec.op, ReadOp)
+        assert rec.result == "b"
+
+    def test_read_of_unwritten_register_returns_bottom(self):
+        sim = make_sim(scheduler=FixedScheduler([0, 0]))
+        sim.step()
+        rec = sim.step()
+        assert rec.result is BOTTOM
+
+    def test_decision_recorded_with_activation_count(self):
+        # P0 writes, then reads ⊥ (P1 never moved) and decides "a".
+        sim = make_sim(scheduler=FixedScheduler([0, 0]))
+        sim.step()
+        rec = sim.step()
+        assert rec.decided == "a"
+        assert sim.decisions[0] == "a"
+        assert sim.decision_activation[0] == 2
+
+    def test_decided_processor_not_enabled(self):
+        sim = make_sim(scheduler=FixedScheduler([0, 0]))
+        sim.step(), sim.step()
+        assert 0 not in sim.enabled
+        with pytest.raises(SimulationError):
+            sim.step_processor(0)
+
+    def test_activations_counted_per_processor(self):
+        sim = make_sim()
+        for _ in range(4):
+            sim.step()
+        assert sim.activations == {0: 2, 1: 2}
+
+    def test_run_completes_and_is_consistent(self):
+        result = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=7)
+        assert result.completed
+        assert result.all_decided
+        assert result.consistent and result.nontrivial
+
+    def test_finished_simulation_refuses_steps(self):
+        sim = make_sim(scheduler=FixedScheduler([0, 0, 1, 1]))
+        while not sim.finished:
+            sim.step()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_result_snapshot_midway(self):
+        sim = make_sim()
+        sim.step()
+        result = sim.result()
+        assert result.total_steps == 1
+        assert not result.completed
+
+
+class TestCrashes:
+    def test_crash_removes_processor(self):
+        sim = make_sim()
+        sim.crash(1)
+        assert sim.alive == (0,)
+        assert 1 in sim.crashed
+
+    def test_crashed_processor_cannot_step(self):
+        sim = make_sim()
+        sim.crash(0)
+        with pytest.raises(SimulationError):
+            sim.step_processor(0)
+
+    def test_double_crash_rejected(self):
+        sim = make_sim()
+        sim.crash(0)
+        with pytest.raises(SimulationError):
+            sim.crash(0)
+
+    def test_scheduler_injected_crash(self):
+        class CrashOnce:
+            def __init__(self):
+                self.fired = False
+
+            def choose(self, view):
+                if not self.fired:
+                    self.fired = True
+                    return Crash(1)
+                return Activate(view.enabled[0])
+
+        sim = make_sim(scheduler=CrashOnce())
+        sim.step()
+        assert 1 in sim.crashed
+
+    def test_survivor_decides_alone(self):
+        # Crash P1 before it ever runs; P0 must still decide (wait-freedom).
+        sim = make_sim(scheduler=FixedScheduler([0, 0, 0, 0]))
+        sim.crash(1)
+        result = sim.run(100)
+        assert result.decisions == {0: "a"}
+        assert result.completed
+
+
+class TestValidation:
+    def test_invalid_pid_rejected(self):
+        sim = make_sim()
+        with pytest.raises(SimulationError):
+            sim.step_processor(5)
+
+    def test_access_control_enforced(self):
+        # Craft a protocol step that writes someone else's register.
+        protocol = TwoProcessProtocol()
+        sim = make_sim(protocol)
+        layout = sim.layout
+        with pytest.raises(AccessViolation):
+            layout.check_write(0, "r1")
+        with pytest.raises(AccessViolation):
+            layout.check_read(0, "r0")  # P0 may not read its own register
+
+    def test_unknown_register_rejected(self):
+        sim = make_sim()
+        with pytest.raises(AccessViolation):
+            sim.layout.index_of("nope")
+
+    def test_wrong_input_arity_rejected(self):
+        with pytest.raises(ValueError):
+            make_sim(inputs=("a",))
+
+
+class TestDeterminismOfRuns:
+    def test_same_seed_reproduces_run(self):
+        r1 = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=3,
+                          record_trace=True)
+        r2 = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=3,
+                          record_trace=True)
+        assert r1.decisions == r2.decisions
+        assert r1.trace.schedule() == r2.trace.schedule()
+        assert [s.op for s in r1.trace] == [s.op for s in r2.trace]
+
+    def test_coin_flip_counting(self):
+        result = run_protocol(NaiveProtocol(3), ("a", "b", "a"), seed=1)
+        # Every completed naive run with mixed inputs flips at least once.
+        assert sum(result.coin_flips.values()) >= 1

@@ -1,0 +1,79 @@
+"""Tests for the Monte-Carlo experiment runner."""
+
+from __future__ import annotations
+
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import RandomScheduler
+from repro.sim.runner import BatchStats, ExperimentRunner, RunStats
+
+
+def make_runner(seed=42):
+    return ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(values=("a", "b")),
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=seed,
+    )
+
+
+class TestExperimentRunner:
+    def test_run_one_reproducible(self):
+        runner = make_runner()
+        r1 = runner.run_one(0, max_steps=1000)
+        r2 = runner.run_one(0, max_steps=1000)
+        assert r1.decisions == r2.decisions
+        assert r1.total_steps == r2.total_steps
+
+    def test_runs_are_independent(self):
+        runner = make_runner()
+        outcomes = {
+            tuple(sorted(runner.run_one(i, 1000).decisions.items()))
+            for i in range(30)
+        }
+        # Thirty seeded runs should not all be identical.
+        assert len(outcomes) > 1
+
+    def test_run_many_aggregates(self):
+        stats = make_runner().run_many(50, max_steps=1000)
+        assert stats.n_runs == 50
+        assert stats.completion_rate == 1.0
+        assert stats.n_consistency_violations == 0
+        assert stats.n_nontriviality_violations == 0
+
+    def test_mean_steps_reasonable(self):
+        stats = make_runner().run_many(200, max_steps=1000)
+        mean = stats.mean_steps_to_decide()
+        # Theorem 7's corollary bounds the expectation by 10; the
+        # random scheduler should sit comfortably under it.
+        assert 2.0 <= mean <= 10.0
+
+    def test_tail_probability_monotone(self):
+        stats = make_runner().run_many(200, max_steps=1000)
+        tails = [stats.tail_probability(k) for k in (0, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))
+        assert tails[0] == 1.0  # nobody decides in zero steps
+        assert tails[-1] <= 0.1
+
+    def test_worst_processor_costs(self):
+        stats = make_runner().run_many(20, max_steps=1000)
+        worst = stats.worst_processor_costs()
+        pooled = stats.per_processor_costs()
+        assert len(worst) == 20
+        assert max(worst) <= max(pooled) or not pooled
+
+    def test_mean_coin_flips_present(self):
+        stats = make_runner().run_many(50, max_steps=1000)
+        assert stats.mean_coin_flips() is not None
+
+    def test_censoring_counts_as_undecided(self):
+        # A one-step budget cannot complete any run.
+        stats = make_runner().run_many(10, max_steps=1)
+        assert stats.completion_rate == 0.0
+        assert stats.tail_probability(100) == 1.0
+
+    def test_empty_batch_edge_cases(self):
+        empty = BatchStats(runs=[], max_steps=10)
+        assert empty.completion_rate == 0.0
+        assert empty.mean_steps_to_decide() is None
+        assert empty.tail_probability(5) == 0.0
+        assert empty.mean_coin_flips() is None

@@ -1,0 +1,72 @@
+"""Tests for trace recording and querying."""
+
+from __future__ import annotations
+
+from repro.core.two_process import TwoProcessProtocol
+from repro.sched.simple import FixedScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.ops import ReadOp, WriteOp
+from repro.sim.rng import ReplayableRng
+from repro.sim.trace import CrashRecord, StepRecord, Trace
+
+
+def traced_run(schedule, inputs=("a", "b"), max_steps=50):
+    sim = Simulation(
+        TwoProcessProtocol(), inputs, FixedScheduler(schedule),
+        ReplayableRng(0), record_trace=True,
+    )
+    sim.run(max_steps)
+    return sim
+
+
+class TestTrace:
+    def test_schedule_extraction(self):
+        sim = traced_run([0, 1, 0])
+        assert sim.trace.schedule()[:3] == [0, 1, 0]
+
+    def test_steps_of_processor(self):
+        sim = traced_run([0, 0])
+        steps = sim.trace.steps_of(0)
+        assert len(steps) == 2
+        assert all(s.pid == 0 for s in steps)
+
+    def test_writes_and_reads_filters(self):
+        sim = traced_run([0, 1, 0, 1])
+        writes = sim.trace.writes_to("r0")
+        assert writes and all(isinstance(s.op, WriteOp) for s in writes)
+        reads = sim.trace.reads_from("r1")
+        assert reads and all(isinstance(s.op, ReadOp) for s in reads)
+
+    def test_decisions_in_order(self):
+        sim = traced_run([0, 0, 1, 1])
+        decisions = sim.trace.decisions()
+        assert [d.decided for d in decisions] == ["a", "a"]
+        assert decisions[0].index < decisions[1].index
+
+    def test_render_and_truncation(self):
+        sim = traced_run([0, 0, 1, 1])
+        full = sim.trace.render()
+        assert "decides" in full
+        short = sim.trace.render(limit=2)
+        assert "more steps" in short
+
+    def test_crash_records_rendered(self):
+        trace = Trace()
+        trace.append(StepRecord(index=0, pid=0,
+                                op=WriteOp("r0", "a"), result=None))
+        trace.append_crash(CrashRecord(index=1, pid=1))
+        rendered = trace.render()
+        assert "crashed" in rendered
+        assert trace.crashes[0].pid == 1
+
+    def test_step_record_render_shapes(self):
+        read = StepRecord(index=3, pid=1, op=ReadOp("r0"), result="a")
+        assert "read" in read.render() and "'a'" in read.render()
+        write = StepRecord(index=4, pid=0, op=WriteOp("r0", "b"),
+                           result=None, decided="b")
+        assert "decides" in write.render()
+
+    def test_indexing_and_len(self):
+        sim = traced_run([0, 1])
+        assert len(sim.trace) >= 2
+        assert sim.trace[0].index == 0

@@ -1,0 +1,90 @@
+"""Tests for the space-time trace renderer."""
+
+from __future__ import annotations
+
+from repro.core.two_process import TwoProcessProtocol
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.sched.crash import CrashPlan, CrashingScheduler
+from repro.sched.simple import FixedScheduler, RoundRobinScheduler
+from repro.sim.viz import (
+    render_decision_summary,
+    render_register_timeline,
+    render_space_time,
+)
+
+from conftest import run_protocol
+
+
+def traced(protocol=None, inputs=("a", "b"), scheduler=None, seed=0):
+    return run_protocol(protocol or TwoProcessProtocol(), inputs,
+                        seed=seed, scheduler=scheduler, record_trace=True)
+
+
+class TestSpaceTime:
+    def test_columns_and_rows(self):
+        result = traced(scheduler=FixedScheduler([0, 1, 0, 1]))
+        out = render_space_time(result.trace, 2)
+        lines = out.splitlines()
+        assert lines[0].startswith("step")
+        assert "P0" in lines[0] and "P1" in lines[0]
+        # First two steps: P0 writes (own column), P1 column idle.
+        assert "w r0←'a'" in lines[2]
+        assert lines[2].rstrip().endswith(".") or "." in lines[2]
+
+    def test_decision_marker(self):
+        result = traced(scheduler=FixedScheduler([0, 0]))
+        out = render_space_time(result.trace, 2)
+        assert "✓'a'" in out
+
+    def test_coin_marking(self):
+        result = traced(seed=5)
+        # Mark every write step as a coin step: capitalized markers
+        # appear wherever writes happened.
+        writes = [s.index for s in result.trace
+                  if s.op.kind == "write"]
+        out = render_space_time(result.trace, 2, coin_steps=writes)
+        assert "W r" in out
+
+    def test_truncation(self):
+        result = traced(protocol=ThreeUnboundedProtocol(),
+                        inputs=("a", "b", "a"), seed=3)
+        out = render_space_time(result.trace, 3, limit=5)
+        assert "more steps" in out
+
+    def test_crash_rendering(self):
+        plan = CrashPlan(after_activations={1: 1})
+        result = traced(scheduler=CrashingScheduler(RoundRobinScheduler(),
+                                                    plan))
+        out = render_space_time(result.trace, 2)
+        assert "✗ crashed" in out
+
+
+class TestRegisterTimeline:
+    def test_lists_writes_in_order(self):
+        result = traced(scheduler=FixedScheduler([0, 1, 0, 1]))
+        out = render_register_timeline(result.trace, "r0")
+        assert "P0 wrote 'a'" in out
+
+    def test_never_written(self):
+        from repro.sim.kernel import Simulation
+        from repro.sim.rng import ReplayableRng
+
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         FixedScheduler([0, 0]), ReplayableRng(0),
+                         record_trace=True)
+        sim.step(), sim.step()  # P0 writes + decides; P1 never moves
+        out = render_register_timeline(sim.trace, "r1")
+        assert "never written" in out
+
+
+class TestDecisionSummary:
+    def test_consistent_run(self):
+        result = traced(seed=2)
+        out = render_decision_summary(result.trace)
+        assert "consistent" in out
+        assert out.count("decided") == 2
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        assert "no decisions" in render_decision_summary(Trace())

@@ -1,0 +1,206 @@
+"""Walkthrough tests: the bounded protocol's checkpoint machinery.
+
+These drive hand-built schedules through whole scenarios — leaders
+parking at a checkpoint, the embedded two-processor protocol between
+them, the laggard catching up, guarded crossings — asserting the
+register states at each stage.  They are regression armour for the
+trickiest code in the repository (and for finding F3's two inferred
+rules specifically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.three_bounded import (
+    BReg,
+    MIXED,
+    ThreeBoundedProtocol,
+    ahead,
+)
+from repro.sched.simple import FixedScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+
+
+def drive(schedule, inputs=("a", "a", "b"), seed=0, p_heads=0.5):
+    """Run a fixed schedule; return the simulation for inspection."""
+    sim = Simulation(
+        ThreeBoundedProtocol(p_heads=p_heads), inputs,
+        FixedScheduler(schedule), ReplayableRng(seed),
+        record_trace=True,
+    )
+    for _ in range(len(schedule)):
+        if sim.finished:
+            break
+        sim.step()
+    return sim
+
+
+def reg_of(sim, pid) -> BReg:
+    return sim.configuration.registers[pid]
+
+
+def drive_until(sim, pid, predicate, max_steps=500):
+    """Step only ``pid`` until its register satisfies ``predicate``."""
+    while not predicate(reg_of(sim, pid)):
+        if pid in sim.decisions or sim.step_index > max_steps:
+            break
+        sim.step_processor(pid)
+    return reg_of(sim, pid)
+
+
+class TestSoloClimb:
+    def test_solo_processor_walks_one_two_three_and_decides(self):
+        # P0 alone: write [1,b], phases advance 1 -> 2 -> 3; at 3 both
+        # others (unwritten, position 1) are two behind: T2 decides.
+        sim = drive([0] * 120, inputs=("b", "a", "a"), seed=1)
+        assert sim.decisions.get(0) == "b"
+        final = reg_of(sim, 0)
+        assert final.mode == "dec" and final.val == "b"
+        # It never advanced past the first checkpoint.
+        positions = [
+            s.op.value.pos for s in sim.trace
+            if s.pid == 0 and s.op.kind == "write"
+            and s.op.value.mode == "run"
+        ]
+        assert max(positions) <= 3
+
+    def test_decision_was_written_before_halting(self):
+        sim = drive([0] * 120, inputs=("b", "a", "a"), seed=1)
+        last_write = [s for s in sim.trace if s.op.kind == "write"][-1]
+        assert last_write.op.value.mode == "dec"
+
+
+class TestCheckpointWait:
+    def make_leaders_at_checkpoint(self, seed=3):
+        """Drive P0 and P1 to the checkpoint while P2 never moves."""
+        sim = Simulation(
+            ThreeBoundedProtocol(), ("a", "b", "b"),
+            FixedScheduler([]), ReplayableRng(seed),
+        )
+        # Interleave P0/P1 phases until both sit at position 3.
+        for _ in range(400):
+            for pid in (0, 1):
+                if pid in sim.decisions:
+                    continue
+                sim.step_processor(pid)
+            r0, r1 = reg_of(sim, 0), reg_of(sim, 1)
+            if (r0.mode == "wait" or r0.pos == 3) and \
+               (r1.mode == "wait" or r1.pos == 3):
+                break
+        return sim
+
+    def test_leaders_park_in_wait_mode(self):
+        sim = self.make_leaders_at_checkpoint()
+        # Keep stepping the pair: they must enter wait states at 3 (or
+        # decide) — never cross to 4 while P2 sits two behind at 1.
+        for _ in range(200):
+            for pid in (0, 1):
+                if pid not in sim.decisions:
+                    sim.step_processor(pid)
+            for pid in (0, 1):
+                r = reg_of(sim, pid)
+                if r.mode == "run":
+                    assert ahead(r.pos, 1) <= 2, (
+                        f"P{pid} crossed the checkpoint past a laggard "
+                        f"two behind: {r!r}"
+                    )
+            if all(pid in sim.decisions for pid in (0, 1)):
+                break
+        # The embedded two-processor protocol terminates the pair.
+        assert 0 in sim.decisions and 1 in sim.decisions
+        assert sim.decisions[0] == sim.decisions[1]
+
+    def test_laggard_adopts_waiters_value_when_catching_up(self):
+        sim = self.make_leaders_at_checkpoint()
+        # Run the pair until at least one is parked in wait mode.
+        for _ in range(100):
+            if any(reg_of(sim, p).mode == "wait" for p in (0, 1)):
+                break
+            for pid in (0, 1):
+                if pid not in sim.decisions:
+                    sim.step_processor(pid)
+        waiters = [p for p in (0, 1) if reg_of(sim, p).mode == "wait"]
+        if not waiters:
+            pytest.skip("pair agreed before parking under this seed")
+        # Now wake the laggard and let only it run.  It must climb to
+        # the checkpoint and, per the guarded-crossing rule, only leave
+        # position 3 carrying a value the others unanimously show.
+        for _ in range(300):
+            if 2 in sim.decisions:
+                break
+            sim.step_processor(2)
+            r2 = reg_of(sim, 2)
+            if r2.mode == "run" and ahead(r2.pos, 3) >= 1:
+                shown = {reg_of(sim, 0).val, reg_of(sim, 1).val}
+                assert r2.val in shown, (
+                    "laggard crossed carrying a value nobody showed"
+                )
+        # Whatever happened, safety held.
+        decided = set(sim.decisions.values())
+        assert len(decided) <= 1
+
+
+class TestSeenField:
+    def test_seen_updates_on_section_exit(self):
+        # Three processors marching together with the same value cross
+        # checkpoint 3 and acquire seen='a'.
+        sim = Simulation(
+            ThreeBoundedProtocol(), ("a", "a", "a"),
+            FixedScheduler([]), ReplayableRng(7),
+        )
+        for _ in range(400):
+            for pid in range(3):
+                if pid not in sim.decisions:
+                    sim.step_processor(pid)
+            if sim.finished:
+                break
+        assert sim.finished
+        assert set(sim.decisions.values()) == {"a"}
+        # Some register carried a clean third field at some point, or
+        # the T2/A2 path decided first — either way no MIXED appears in
+        # a unanimous run.
+        for s in sim.trace or ():
+            pass  # trace not recorded here; field check below
+        # Re-run traced to inspect writes.
+        sim2 = Simulation(
+            ThreeBoundedProtocol(), ("a", "a", "a"),
+            FixedScheduler([]), ReplayableRng(7), record_trace=True,
+        )
+        for _ in range(400):
+            for pid in range(3):
+                if pid not in sim2.decisions:
+                    sim2.step_processor(pid)
+            if sim2.finished:
+                break
+        for s in sim2.trace:
+            if s.op.kind == "write" and s.op.value.mode != "dec":
+                assert s.op.value.seen in (None, "a"), (
+                    f"unanimous run produced seen={s.op.value.seen!r}"
+                )
+
+    def test_mixed_run_can_produce_mixed_seen(self):
+        # Over many seeds with mixed inputs, at least one write carries
+        # the MIXED third field (the value genuinely flipped within a
+        # section) — exercising the summary logic end to end.
+        found = False
+        for seed in range(60):
+            sim = Simulation(
+                ThreeBoundedProtocol(), ("a", "b", "a"),
+                FixedScheduler([]), ReplayableRng(seed),
+                record_trace=True,
+            )
+            for _ in range(600):
+                for pid in range(3):
+                    if pid not in sim.decisions:
+                        sim.step_processor(pid)
+                if sim.finished:
+                    break
+            for s in sim.trace:
+                if (s.op.kind == "write" and s.op.value.mode != "dec"
+                        and s.op.value.seen is MIXED):
+                    found = True
+            if found:
+                break
+        assert found, "no run ever exercised the MIXED third field"
