@@ -31,6 +31,10 @@ Package map
 ``repro.analysis``
     The paper's bounds as formulas and the statistics that compare
     measurements against them.
+``repro.obs``
+    Kernel observability: event hooks, streaming metrics (counters /
+    gauges / percentile histograms), JSONL run journals, and phase
+    timers — see ``docs/OBSERVABILITY.md``.
 
 Quickstart
 ----------
@@ -59,9 +63,10 @@ from repro.errors import (
     SimulationError,
     VerificationError,
 )
+from repro.obs import JsonlJournal, MetricsRegistry, PhaseTimer
 from repro.sim import BOTTOM, ExperimentRunner, ReplayableRng, Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConsensusOutcome",
@@ -80,6 +85,9 @@ __all__ = [
     "VerificationError",
     "BOTTOM",
     "ExperimentRunner",
+    "JsonlJournal",
+    "MetricsRegistry",
+    "PhaseTimer",
     "ReplayableRng",
     "Simulation",
     "__version__",

@@ -53,6 +53,9 @@ def batch_metrics(stats: BatchStats) -> Dict[str, Any]:
     flips = stats.mean_coin_flips()
     if flips is not None:
         out["mean_coin_flips"] = flips
+    observability = stats.metrics_dict()
+    if observability is not None:
+        out["observability"] = observability
     return out
 
 

@@ -9,15 +9,20 @@ Subcommands map one-to-one onto the library's main entry points:
   deterministic zoo (or one member) and print the certificates;
 * ``game``           — solve the two-processor scheduling game exactly
   and print worst-case expected costs;
-* ``tower``          — grade the Lamport register construction tower.
+* ``tower``          — grade the Lamport register construction tower;
+* ``report``         — run an instrumented Monte-Carlo batch and print
+  its observability metrics (or replay a saved journal).
 
 Examples::
 
     python -m repro solve --protocol three-bounded --inputs a,b,b --trace
+    python -m repro solve --inputs a,b --metrics --journal run.jsonl
     python -m repro verify --protocol two --inputs a,b
     python -m repro impossibility
     python -m repro game --cost processor:0
     python -m repro tower --seeds 20
+    python -m repro report --protocol two --runs 5000
+    python -m repro report --from-journal run.jsonl
 """
 
 from __future__ import annotations
@@ -72,6 +77,17 @@ def _build_scheduler(name: str, seed: int):
     return table[name]()
 
 
+def _solve_sinks(args: argparse.Namespace):
+    """Build the (metrics, journal, sinks) triple a command asked for."""
+    from repro.obs import JsonlJournal, MetricsRegistry
+
+    metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
+    journal = (JsonlJournal(args.journal)
+               if getattr(args, "journal", None) else None)
+    sinks = tuple(s for s in (metrics, journal) if s is not None)
+    return metrics, journal, sinks
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.core.consensus import solve
 
@@ -83,8 +99,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"got {len(inputs)}"
         )
     scheduler = _build_scheduler(args.scheduler, args.seed)
+    metrics, journal, sinks = _solve_sinks(args)
     outcome = solve(protocol, inputs, scheduler=scheduler, seed=args.seed,
-                    max_steps=args.max_steps, record_trace=args.trace)
+                    max_steps=args.max_steps, record_trace=args.trace,
+                    sinks=sinks)
+    if journal is not None:
+        journal.close()
     print(f"protocol:   {protocol.name}")
     print(f"inputs:     {inputs}")
     print(f"scheduler:  {args.scheduler} (seed {args.seed})")
@@ -103,6 +123,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                                     limit=args.trace_limit))
         else:
             print(outcome.trace.render(limit=args.trace_limit))
+    if metrics is not None:
+        print("\nmetrics:")
+        print(metrics.render())
+    if journal is not None:
+        print(f"\njournal:    {args.journal} "
+              f"({journal.events_written} events)")
     return 0 if outcome.consistent and outcome.nontrivial else 1
 
 
@@ -178,6 +204,107 @@ def _cmd_tower(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scheduler_factory(name: str):
+    """Per-run scheduler factory (stateful adversaries must be fresh)."""
+    from repro.sched import (
+        LaggardFreezer,
+        ObliviousScheduler,
+        RandomScheduler,
+        RoundRobinScheduler,
+        SplitVoteAdversary,
+    )
+
+    table = {
+        "random": lambda rng: RandomScheduler(rng),
+        "round-robin": lambda rng: RoundRobinScheduler(),
+        "oblivious": lambda rng: ObliviousScheduler(rng),
+        "split-vote": lambda rng: SplitVoteAdversary(),
+        "laggard-freezer": lambda rng: LaggardFreezer(),
+    }
+    if name not in table:
+        raise SystemExit(f"unknown scheduler {name!r}")
+    return table[name]
+
+
+def _print_histogram(name: str, hist) -> None:
+    """Full distribution of one histogram, with proportional bars."""
+    if not hist.total:
+        return
+    print(f"\n{name} (n={hist.total}, mean={hist.mean:.2f}, "
+          f"p50={hist.p50}, p90={hist.p90}, p99={hist.p99}):")
+    peak = max(hist.counts.values())
+    for value in sorted(hist.counts):
+        count = hist.counts[value]
+        bar = "#" * max(1, round(40 * count / peak))
+        print(f"  {value:>5}  {count:>8}  {bar}")
+
+
+def _print_report(metrics, title: str) -> None:
+    print(title)
+    print()
+    print(metrics.render())
+    for name in ("steps_to_decide", "coin_flips_per_decision", "num_depth"):
+        hist = metrics.histograms.get(name)
+        if hist is not None:
+            _print_histogram(name, hist)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlJournal, MetricsRegistry, PhaseTimer
+
+    if args.from_journal:
+        from repro.obs import replay_journal
+
+        metrics = replay_journal(args.from_journal)
+        _print_report(metrics, f"replayed journal: {args.from_journal}")
+        return 0
+
+    from repro.sim.runner import ExperimentRunner
+
+    inputs = tuple(args.inputs.split(","))
+    protocol_name = args.protocol
+    metrics = MetricsRegistry()
+    timer = PhaseTimer() if args.timing else None
+    journal = JsonlJournal(args.journal) if args.journal else None
+    sinks = tuple(s for s in (metrics, journal, timer) if s is not None)
+    runner = ExperimentRunner(
+        protocol_factory=lambda: _build_protocol(protocol_name, len(inputs)),
+        scheduler_factory=_scheduler_factory(args.scheduler),
+        inputs_factory=lambda i, rng: inputs,
+        seed=args.seed,
+        sinks=sinks,
+    )
+    stats = runner.run_many(args.runs, max_steps=args.max_steps)
+    if journal is not None:
+        journal.close()
+
+    _print_report(
+        metrics,
+        f"{args.runs} runs of {protocol_name!r} on inputs {args.inputs} "
+        f"under {args.scheduler!r} (seed {args.seed})",
+    )
+    if timer is not None:
+        print("\nphase timing:")
+        print(timer.render())
+    if journal is not None:
+        print(f"\njournal: {args.journal} ({journal.events_written} events)")
+    if args.json:
+        from repro.analysis.reporting import dump_records, record_batch
+
+        record = record_batch(
+            experiment="cli_report",
+            protocol=protocol_name,
+            scheduler=args.scheduler,
+            inputs=args.inputs,
+            seed=args.seed,
+            stats=stats,
+        )
+        dump_records([record], path=args.json)
+        print(f"json record: {args.json}")
+    violations = stats.n_consistency_violations
+    return 0 if violations == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +329,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diagram", action="store_true",
                    help="render the trace as a space-time diagram")
     p.add_argument("--trace-limit", type=int, default=40)
+    p.add_argument("--metrics", action="store_true",
+                   help="attach a metrics registry and print it")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="stream a JSONL event journal to PATH")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("verify", help="exhaustive safety verification")
@@ -232,6 +363,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tower", help="grade the register constructions")
     p.add_argument("--seeds", type=int, default=15)
     p.set_defaults(func=_cmd_tower)
+
+    p = sub.add_parser(
+        "report",
+        help="instrumented Monte-Carlo batch with metrics report")
+    p.add_argument("--protocol", default="two",
+                   choices=["two", "three-unbounded", "three-bounded",
+                            "n", "naive"])
+    p.add_argument("--inputs", default="a,b",
+                   help="comma-separated input values, one per processor")
+    p.add_argument("--scheduler", default="random",
+                   choices=["random", "round-robin", "oblivious",
+                            "split-vote", "laggard-freezer"])
+    p.add_argument("--runs", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-steps", type=int, default=4000)
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="stream a JSONL event journal to PATH")
+    p.add_argument("--from-journal", metavar="PATH", default=None,
+                   help="skip running; replay PATH into the metrics report")
+    p.add_argument("--timing", action="store_true",
+                   help="attach a PhaseTimer and print phase wall-times")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also dump an ExperimentRecord JSON file to PATH")
+    p.set_defaults(func=_cmd_report)
 
     return parser
 

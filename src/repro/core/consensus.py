@@ -61,6 +61,7 @@ def solve(
     seed: int = 0,
     max_steps: int = 100_000,
     record_trace: bool = False,
+    sinks: Sequence = (),
 ) -> ConsensusOutcome:
     """Run one consensus instance and return its outcome.
 
@@ -80,6 +81,10 @@ def solve(
         seeing).
     record_trace:
         Keep the full step trace on the outcome.
+    sinks:
+        Observability sinks (:mod:`repro.obs`) to attach to the run —
+        e.g. a :class:`~repro.obs.metrics.MetricsRegistry` or a
+        :class:`~repro.obs.journal.JsonlJournal`.
 
     Example
     -------
@@ -99,5 +104,6 @@ def solve(
         scheduler,
         rng.child("kernel"),
         record_trace=record_trace,
+        sinks=sinks,
     )
     return ConsensusOutcome.from_run(sim.run(max_steps))

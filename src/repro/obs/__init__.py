@@ -1,0 +1,44 @@
+"""Kernel-level observability: hooks, metrics, journals, and timers.
+
+The simulation kernel serializes an asynchronous execution into a single
+global order of register operations.  Everything the paper quantifies —
+steps-to-decide distributions (Theorem 7's tail), coin flips per
+decision, the ``num``-field depth of the three-processor protocol
+(Theorem 9's (3/4)^k envelope) — is a function of that event stream.
+
+This subpackage makes the stream first-class without making the kernel
+slow or memory-hungry:
+
+* :mod:`repro.obs.hooks` — the event protocol (:class:`BaseSink`) and
+  the fan-out hub (:class:`ObsHub`) the kernel drives.  With no sinks
+  attached the kernel keeps a ``None`` hub and pays only a handful of
+  ``is not None`` checks per step.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, a sink holding
+  counters, gauges, and integer histograms (p50/p90/p99) that
+  aggregates cheaply across millions of steps and thousands of runs.
+* :mod:`repro.obs.journal` — :class:`JsonlJournal`, a streaming sink
+  writing one bounded JSON record per event; a journal can be replayed
+  back into a fresh :class:`MetricsRegistry` to reproduce the exact
+  metrics of the live run.
+* :mod:`repro.obs.timers` — :class:`PhaseTimer`, a wall-clock profiling
+  sink splitting run time into scheduler-choice / kernel-step /
+  protocol-transition phases.
+"""
+
+from repro.obs.hooks import BaseSink, ObsHub
+from repro.obs.journal import JsonlJournal, iter_events, replay_journal
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timers import PhaseTimer
+
+__all__ = [
+    "BaseSink",
+    "ObsHub",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "JsonlJournal",
+    "iter_events",
+    "replay_journal",
+    "PhaseTimer",
+]

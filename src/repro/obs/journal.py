@@ -1,0 +1,246 @@
+"""Streaming JSONL run journal.
+
+``record_trace=True`` keeps every :class:`StepRecord` in memory — fine
+for a 40-step demo, hopeless for a Monte-Carlo batch.  The journal is
+the streaming alternative: one bounded JSON object per kernel event,
+written to disk as it happens and never retained.  A journal is both a
+human-greppable artifact and a replayable one: feeding it back through
+:func:`replay_journal` reproduces, event for event, the exact metrics a
+live :class:`~repro.obs.metrics.MetricsRegistry` would have collected.
+
+Schema (version 1) — one object per line:
+
+``{"t": "journal", "v": 1}``
+    header, always the first line.
+``{"t": "run_start", "protocol": str, "n": int, "inputs": [...]}``
+``{"t": "step", "i": int, "pid": int, "op": "read"|"write",
+  "reg": str, "value": ..., "result": ..., "cf": true?,
+  "dec": ..., "act": int?}``
+    one serialized kernel step.  ``value`` only on writes, ``result``
+    only on reads; ``cf`` present when the step resolved a coin flip;
+    ``dec``/``act`` present when the step decided (value + activation).
+``{"t": "crash", "i": int, "pid": int}``
+``{"t": "run_end", "completed": bool, "steps": int, "consults": int,
+  "crashed": [...]}``
+
+Values are JSON-encoded structurally where possible: dataclass register
+records (e.g. ``PrefNum``) become dicts, so a ``[pref, num]`` record
+survives the round trip well enough for the ``num``-depth metrics;
+anything else non-serializable falls back to ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Hashable, IO, Iterator, Optional, Tuple, Union
+
+from repro.obs.hooks import BaseSink
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.ops import ReadOp, WriteOp
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort structural JSON encoding of a register value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class JsonlJournal(BaseSink):
+    """Kernel sink streaming one JSON line per event to a file.
+
+    Parameters
+    ----------
+    target:
+        A path to open (truncating) or an already-open text file
+        object.  When given a path the journal owns the handle and
+        :meth:`close` closes it; a passed-in file object stays the
+        caller's responsibility.
+    flush_every:
+        Flush the underlying handle every N events (default 1000), so
+        a crash of the *host* process loses a bounded suffix.
+
+    The journal never buffers events in Python; memory use is O(1) in
+    run length.  One journal may span a whole batch of runs —
+    ``run_start`` / ``run_end`` records delimit the runs.
+    """
+
+    def __init__(self, target: Union[str, IO[str]],
+                 flush_every: int = 1000) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns_fh = True
+        else:
+            self._fh = target
+            self._owns_fh = False
+        self._since_flush = 0
+        self._flush_every = max(1, flush_every)
+        self.events_written = 0
+        self._write({"t": "journal", "v": SCHEMA_VERSION})
+        # Step events are assembled across several hooks (coin flip,
+        # op, decision all belong to one step); this scratch dict
+        # carries the in-flight step.
+        self._pending: Dict[str, Any] = {}
+
+    # -- plumbing ------------------------------------------------------
+
+    def _write(self, obj: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(obj, separators=(",", ":"),
+                                  sort_keys=True) + "\n")
+        self.events_written += 1
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._fh.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        """Flush and (if owned) close the underlying file."""
+        self._fh.flush()
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- kernel sink protocol -----------------------------------------
+
+    def on_run_start(self, protocol_name: str, n_processes: int,
+                     inputs: Tuple[Hashable, ...]) -> None:
+        self._write({
+            "t": "run_start",
+            "protocol": protocol_name,
+            "n": n_processes,
+            "inputs": [_jsonable(v) for v in inputs],
+        })
+
+    def on_coin_flip(self, pid: int, n_branches: int) -> None:
+        self._pending["cf"] = True
+
+    def on_decision(self, pid: int, value: Hashable, activation: int) -> None:
+        self._pending["dec"] = _jsonable(value)
+        self._pending["act"] = activation
+
+    def on_crash(self, pid: int, index: int) -> None:
+        self._write({"t": "crash", "i": index, "pid": pid})
+
+    def on_step(self, index: int, pid: int, op, result: Hashable,
+                decided: Optional[Hashable]) -> None:
+        event: Dict[str, Any] = {"t": "step", "i": index, "pid": pid}
+        if isinstance(op, ReadOp):
+            event["op"] = "read"
+            event["reg"] = op.register
+            event["result"] = _jsonable(result)
+        elif isinstance(op, WriteOp):
+            event["op"] = "write"
+            event["reg"] = op.register
+            event["value"] = _jsonable(op.value)
+        else:  # pragma: no cover - no third op kind exists
+            event["op"] = repr(op)
+        event.update(self._pending)
+        self._pending = {}
+        self._write(event)
+
+    def on_run_end(self, result) -> None:
+        self._write({
+            "t": "run_end",
+            "completed": bool(result.completed),
+            "steps": result.total_steps,
+            "consults": getattr(result, "sched_consults", 0),
+            "crashed": sorted(result.crashed),
+        })
+        self._fh.flush()
+        self._since_flush = 0
+
+
+# -- reading and replay -----------------------------------------------
+
+
+def iter_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield the journal's event dicts (header validated and skipped)."""
+    with open(path) as fh:
+        first = fh.readline()
+        if not first:
+            raise ValueError(f"{path}: empty journal")
+        header = json.loads(first)
+        if header.get("t") != "journal":
+            raise ValueError(f"{path}: missing journal header line")
+        if header.get("v") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unsupported journal version {header.get('v')!r}"
+            )
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+@dataclasses.dataclass
+class _ReplayRunEnd:
+    """Shim giving run_end events the RunResult attributes sinks read."""
+
+    completed: bool
+    total_steps: int
+    sched_consults: int
+    crashed: frozenset
+
+
+def replay_journal(path: str,
+                   registry: Optional[MetricsRegistry] = None
+                   ) -> MetricsRegistry:
+    """Replay a journal's event stream into a metrics registry.
+
+    The events are dispatched through the same sink methods the live
+    kernel drives, in the same order the kernel emitted them, so the
+    resulting registry matches the live one metric for metric (modulo
+    ``sched_consults``, which the kernel observes per consultation but
+    the journal stores per run — replay reconstructs the count from the
+    ``run_end`` records).
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    for event in iter_events(path):
+        kind = event["t"]
+        if kind == "run_start":
+            reg.on_run_start(event["protocol"], event["n"],
+                             tuple(event["inputs"]))
+        elif kind == "step":
+            pid = event["pid"]
+            if event.get("cf"):
+                reg.on_coin_flip(pid, 2)
+            if event["op"] == "read":
+                reg.on_read(pid, event["reg"], event.get("result"))
+            else:
+                reg.on_write(pid, event["reg"], event.get("value"))
+            if "dec" in event:
+                reg.on_decision(pid, event["dec"], event["act"])
+            reg.on_step(event["i"], pid, None, event.get("result"),
+                        event.get("dec"))
+        elif kind == "crash":
+            reg.on_crash(event["pid"], event["i"])
+        elif kind == "run_end":
+            consults = event.get("consults", 0)
+            for i in range(consults):
+                reg.on_sched(i + 1)
+            reg.on_run_end(_ReplayRunEnd(
+                completed=event["completed"],
+                total_steps=event["steps"],
+                sched_consults=consults,
+                crashed=frozenset(event.get("crashed", ())),
+            ))
+        else:
+            raise ValueError(f"unknown journal event type {kind!r}")
+    return reg

@@ -1,0 +1,325 @@
+"""Streaming metrics: counters, gauges, histograms, and the registry sink.
+
+The quantities the paper reasons about are distributions over a run's
+event stream — steps a processor needs to decide (Theorem 7), coin
+flips per decision, the ``num``-field depth in the three-processor
+protocol's registers (Theorem 9).  A Monte-Carlo batch observes those
+distributions over millions of steps, so the instruments here are
+streaming: a histogram is a dict of exact-value counts (the domains are
+small integers), a counter is one int, and nothing retains per-event
+records.
+
+:class:`MetricsRegistry` is both a generic metrics container (create
+your own instruments with :meth:`counter` / :meth:`gauge` /
+:meth:`histogram`) and a kernel sink that populates a standard set of
+well-known metrics from the hook stream.  One registry may be attached
+across an entire batch of runs; everything aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.obs.hooks import BaseSink
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A last-value instrument that also tracks its extremes."""
+
+    __slots__ = ("value", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def set(self, x: float) -> None:
+        self.value = x
+        if self.minimum is None or x < self.minimum:
+            self.minimum = x
+        if self.maximum is None or x > self.maximum:
+            self.maximum = x
+
+    def merge(self, other: "Gauge") -> None:
+        for x in (other.minimum, other.maximum, other.value):
+            if x is not None:
+                self.set(x)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value}, min={self.minimum}, max={self.maximum})"
+
+
+class Histogram:
+    """Exact-count histogram over an integer-valued sample.
+
+    Stores ``value -> count``; the event domains here (steps, flips,
+    ``num`` depths) are small non-negative integers, so exact counts
+    are cheaper and more faithful than bucketed approximations, and
+    percentiles are computed by a cumulative walk (nearest-rank, the
+    same convention as :func:`repro.analysis.stats.percentile`).
+    """
+
+    __slots__ = ("counts", "total", "_sum")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+        self._sum = 0
+
+    def observe(self, x: int, n: int = 1) -> None:
+        self.counts[x] = self.counts.get(x, 0) + n
+        self.total += n
+        self._sum += x * n
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self.total if self.total else None
+
+    @property
+    def minimum(self) -> Optional[int]:
+        return min(self.counts) if self.counts else None
+
+    @property
+    def maximum(self) -> Optional[int]:
+        return max(self.counts) if self.counts else None
+
+    def percentile(self, q: float) -> Optional[int]:
+        """Nearest-rank percentile, ``0 < q <= 1``."""
+        if not self.total:
+            return None
+        rank = min(self.total, max(1, math.ceil(q * self.total)))
+        seen = 0
+        for value in sorted(self.counts):
+            seen += self.counts[value]
+            if seen >= rank:
+                return value
+        return max(self.counts)  # pragma: no cover - defensive
+
+    @property
+    def p50(self) -> Optional[int]:
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> Optional[int]:
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> Optional[int]:
+        return self.percentile(0.99)
+
+    def tail_probability(self, k: int) -> Optional[float]:
+        """Empirical P(X > k) — comparable to the paper's tail bounds."""
+        if not self.total:
+            return None
+        above = sum(c for v, c in self.counts.items() if v > k)
+        return above / self.total
+
+    def merge(self, other: "Histogram") -> None:
+        for value, count in other.counts.items():
+            self.observe(value, count)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "counts": {str(k): v for k, v in sorted(self.counts.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (f"Histogram(n={self.total}, mean={self.mean}, "
+                f"p50={self.p50}, p99={self.p99})")
+
+
+def _num_depth_of(value: Hashable) -> Optional[int]:
+    """Duck-typed ``num`` field of a register value.
+
+    The three-processor protocols write ``[pref, num]`` records
+    (:class:`repro.core.rules.PrefNum`); journal replay sees the same
+    records as plain dicts.  Anything else yields ``None``.
+    """
+    num = getattr(value, "num", None)
+    if num is None and isinstance(value, dict):
+        num = value.get("num")
+    return num if isinstance(num, int) else None
+
+
+class MetricsRegistry(BaseSink):
+    """Named instruments plus the standard kernel metric set.
+
+    Well-known metrics populated from the hook stream:
+
+    counters
+        ``runs``, ``runs_completed``, ``steps``, ``reads``, ``writes``,
+        ``coin_flips``, ``crashes``, ``sched_consults``,
+        ``decisions``, ``register_contention`` (writes that overwrote a
+        value no processor ever read).
+    gauges
+        ``max_num_depth`` — deepest ``num`` field ever written (the
+        quantity Theorem 9 bounds by a (3/4)^k envelope).
+    histograms
+        ``steps_to_decide`` (per processor per run — Theorem 7's
+        variable), ``coin_flips_per_decision``, ``num_depth`` (one
+        sample per write carrying a ``num`` field), ``run_steps`` and
+        ``run_sched_consults`` (one sample per run).
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        # Per-run scratch, reset at each run_start.
+        self._run_flips: Dict[int, int] = {}
+        self._unread_write: Dict[str, bool] = {}
+
+    # -- instrument factories -----------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    # -- kernel sink protocol -----------------------------------------
+
+    def on_run_start(self, protocol_name: str, n_processes: int,
+                     inputs: Tuple[Hashable, ...]) -> None:
+        self.counter("runs").inc()
+        self._run_flips = {}
+        self._unread_write = {}
+
+    def on_sched(self, consults: int) -> None:
+        self.counter("sched_consults").inc()
+
+    def on_coin_flip(self, pid: int, n_branches: int) -> None:
+        self.counter("coin_flips").inc()
+        self._run_flips[pid] = self._run_flips.get(pid, 0) + 1
+
+    def on_read(self, pid: int, register: str, value: Hashable) -> None:
+        self.counter("reads").inc()
+        self._unread_write[register] = False
+
+    def on_write(self, pid: int, register: str, value: Hashable) -> None:
+        self.counter("writes").inc()
+        if self._unread_write.get(register, False):
+            self.counter("register_contention").inc()
+        self._unread_write[register] = True
+        depth = _num_depth_of(value)
+        if depth is not None:
+            self.gauge("max_num_depth").set(depth)
+            self.histogram("num_depth").observe(depth)
+
+    def on_decision(self, pid: int, value: Hashable, activation: int) -> None:
+        self.counter("decisions").inc()
+        self.histogram("steps_to_decide").observe(activation)
+        self.histogram("coin_flips_per_decision").observe(
+            self._run_flips.get(pid, 0)
+        )
+
+    def on_crash(self, pid: int, index: int) -> None:
+        self.counter("crashes").inc()
+
+    def on_step(self, index: int, pid: int, op, result: Hashable,
+                decided: Optional[Hashable]) -> None:
+        self.counter("steps").inc()
+
+    def on_run_end(self, result) -> None:
+        if getattr(result, "completed", False):
+            self.counter("runs_completed").inc()
+        self.histogram("run_steps").observe(result.total_steps)
+        consults = getattr(result, "sched_consults", None)
+        if consults is not None:
+            self.histogram("run_sched_consults").observe(consults)
+
+    # -- aggregation and output ---------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (for sharded batches)."""
+        for name, c in other.counters.items():
+            self.counter(name).merge(c)
+        for name, g in other.gauges.items():
+            self.gauge(name).merge(g)
+        for name, h in other.histograms.items():
+            self.histogram(name).merge(h)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (the ``observability`` metrics block)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {
+                k: {"value": g.value, "min": g.minimum, "max": g.maximum}
+                for k, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines: List[str] = []
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(k) for k in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<{width}}  "
+                             f"{self.counters[name].value}")
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(k) for k in self.gauges)
+            for name in sorted(self.gauges):
+                g = self.gauges[name]
+                lines.append(f"  {name:<{width}}  {g.value} "
+                             f"(min {g.minimum}, max {g.maximum})")
+        if self.histograms:
+            lines.append("histograms:")
+            width = max(len(k) for k in self.histograms)
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                if not h.total:
+                    lines.append(f"  {name:<{width}}  (empty)")
+                    continue
+                lines.append(
+                    f"  {name:<{width}}  n={h.total} "
+                    f"mean={h.mean:.2f} p50={h.p50} p90={h.p90} "
+                    f"p99={h.p99} max={h.maximum}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,97 @@
+"""Wall-clock phase profiling.
+
+Where does a simulated step actually spend its time — deciding *who*
+moves (scheduler choice), moving them (kernel step), or computing the
+automaton transition inside the move?  :class:`PhaseTimer` answers
+that.  It is the only sink that sets ``wants_timing``, which is what
+makes the kernel reach for ``perf_counter`` at all; attaching metrics
+or journal sinks alone never pays for clock reads.
+
+Phases emitted by the kernel:
+
+``sched``       one scheduler consultation sequence (including any
+                injected crashes) inside :meth:`Simulation.step`
+``step``        one :meth:`Simulation.step_processor` execution
+``transition``  the protocol-automaton part of a step
+                (``branches`` + ``observe``), a subset of ``step``
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.obs.hooks import BaseSink
+
+
+class PhaseSpan:
+    """Accumulated wall time and event count for one phase."""
+
+    __slots__ = ("seconds", "count")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.count += 1
+
+    @property
+    def mean_us(self) -> Optional[float]:
+        """Mean duration in microseconds."""
+        return self.seconds * 1e6 / self.count if self.count else None
+
+
+class PhaseTimer(BaseSink):
+    """Profiling sink: per-phase wall time plus whole-run wall time."""
+
+    wants_timing = True
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseSpan] = {}
+        self.run_seconds = 0.0
+        self.n_runs = 0
+        self._run_t0: Optional[float] = None
+
+    def on_phase_time(self, phase: str, seconds: float) -> None:
+        span = self.phases.get(phase)
+        if span is None:
+            span = self.phases[phase] = PhaseSpan()
+        span.add(seconds)
+
+    def on_run_start(self, protocol_name: str, n_processes: int,
+                     inputs: Tuple[Hashable, ...]) -> None:
+        self._run_t0 = time.perf_counter()
+
+    def on_run_end(self, result) -> None:
+        if self._run_t0 is not None:
+            self.run_seconds += time.perf_counter() - self._run_t0
+            self._run_t0 = None
+        self.n_runs += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "runs": self.n_runs,
+            "run_seconds": self.run_seconds,
+            "phases": {
+                name: {
+                    "seconds": span.seconds,
+                    "count": span.count,
+                    "mean_us": span.mean_us,
+                }
+                for name, span in sorted(self.phases.items())
+            },
+        }
+
+    def render(self) -> str:
+        lines = [f"runs: {self.n_runs}  wall: {self.run_seconds:.4f}s"]
+        if self.phases:
+            width = max(len(name) for name in self.phases)
+            for name in sorted(self.phases):
+                span = self.phases[name]
+                lines.append(
+                    f"  {name:<{width}}  {span.seconds:.4f}s over "
+                    f"{span.count} events ({span.mean_us:.2f}us mean)"
+                )
+        return "\n".join(lines)

@@ -18,9 +18,11 @@ slow.
 from __future__ import annotations
 
 import dataclasses
+from time import perf_counter
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError, SimulationError
+from repro.obs.hooks import BaseSink, make_hub
 from repro.sim.config import Configuration, RegisterLayout
 from repro.sim.ops import ReadOp, WriteOp
 from repro.sim.process import Automaton
@@ -89,6 +91,11 @@ class SchedulerView:
     def crashed(self) -> frozenset:
         return self._sim.crashed
 
+    @property
+    def sched_consults(self) -> int:
+        """How many times the scheduler has been consulted this run."""
+        return self._sim.sched_consults
+
     def activations(self, pid: int) -> int:
         """How many steps processor ``pid`` has taken so far."""
         return self._sim.activations[pid]
@@ -118,6 +125,7 @@ class RunResult:
     completed: bool
     trace: Optional[Trace]
     final_configuration: Configuration
+    sched_consults: int = 0
 
     @property
     def all_decided(self) -> bool:
@@ -175,6 +183,10 @@ class Simulation:
     strict:
         Validate branch distributions on every step.  Slightly slower;
         on by default since protocols here are research artifacts.
+    sinks:
+        Observability sinks (see :mod:`repro.obs`) to notify of kernel
+        events.  With none attached (the default) the kernel keeps no
+        hub at all and the hot path pays only ``is not None`` checks.
     """
 
     def __init__(
@@ -185,6 +197,7 @@ class Simulation:
         rng: ReplayableRng,
         record_trace: bool = False,
         strict: bool = True,
+        sinks: Optional[Sequence[BaseSink]] = None,
     ) -> None:
         if protocol.n_processes < 1:
             raise SimulationError("protocol declares no processors")
@@ -199,7 +212,9 @@ class Simulation:
         self.decisions: Dict[int, Hashable] = {}
         self.decision_activation: Dict[int, int] = {}
         self.crashed: frozenset = frozenset()
+        self.sched_consults = 0
         self.trace: Optional[Trace] = Trace() if record_trace else None
+        self._obs = make_hub(sinks)
         self._strict = strict
         self._rng = rng
         self._proc_rngs = [
@@ -238,12 +253,19 @@ class Simulation:
     # Execution
     # ------------------------------------------------------------------
 
+    def attach_sink(self, sink: BaseSink) -> None:
+        """Attach an observability sink to an already-built simulation."""
+        existing = self._obs.sinks if self._obs is not None else ()
+        self._obs = make_hub(existing + (sink,))
+
     def crash(self, pid: int) -> None:
         """Fail-stop processor ``pid``."""
         self._check_pid(pid)
         if pid in self.crashed:
             raise SimulationError(f"processor {pid} already crashed")
         self.crashed = self.crashed | {pid}
+        if self._obs is not None:
+            self._obs.crash(pid, self.step_index)
         if self.trace is not None:
             self.trace.append_crash(CrashRecord(index=self.step_index, pid=pid))
 
@@ -251,6 +273,9 @@ class Simulation:
         """Execute one step, consulting the scheduler for who moves."""
         if self.finished:
             raise SimulationError("stepping a finished simulation")
+        if self._obs is not None:
+            return self._observed_step()
+        self.sched_consults += 1
         action = self.scheduler.choose(self._view)
         # Allow schedulers to inject crashes; loop until an activation.
         while isinstance(action, Crash):
@@ -259,7 +284,36 @@ class Simulation:
                 raise SimulationError(
                     "scheduler crashed every remaining processor"
                 )
+            self.sched_consults += 1
             action = self.scheduler.choose(self._view)
+        pid = action.pid if isinstance(action, Activate) else action
+        return self.step_processor(pid)
+
+    def _observed_step(self) -> StepRecord:
+        """Instrumented twin of :meth:`step` (some sink is attached).
+
+        Must stay semantically identical to the fast path — only hook
+        emissions and (when a timing sink is attached) clock reads may
+        differ.  ``test_obs_hooks`` asserts the two paths produce
+        bit-identical runs.
+        """
+        obs = self._obs
+        timing = obs.timing
+        t0 = perf_counter() if timing else 0.0
+        self.sched_consults += 1
+        obs.sched(self.sched_consults)
+        action = self.scheduler.choose(self._view)
+        while isinstance(action, Crash):
+            self.crash(action.pid)
+            if self.finished:
+                raise SimulationError(
+                    "scheduler crashed every remaining processor"
+                )
+            self.sched_consults += 1
+            obs.sched(self.sched_consults)
+            action = self.scheduler.choose(self._view)
+        if timing:
+            obs.phase_time("sched", perf_counter() - t0)
         pid = action.pid if isinstance(action, Activate) else action
         return self.step_processor(pid)
 
@@ -270,6 +324,8 @@ class Simulation:
             raise SimulationError(f"scheduled crashed processor {pid}")
         if pid in self.decisions:
             raise SimulationError(f"scheduled decided processor {pid}")
+        if self._obs is not None:
+            return self._observed_step_processor(pid)
 
         state = self.configuration.states[pid]
         branches = self.protocol.branches(pid, state)
@@ -310,11 +366,100 @@ class Simulation:
             self.trace.append(record)
         return record
 
-    def run(self, max_steps: int) -> RunResult:
-        """Run until every live processor decides, or ``max_steps`` elapse."""
-        while not self.finished and self.step_index < max_steps:
+    def _observed_step_processor(self, pid: int) -> StepRecord:
+        """Instrumented twin of :meth:`step_processor`'s execution body.
+
+        Emission order is part of the journal schema contract:
+        coin-flip, then read/write, then decision, then step —
+        :func:`repro.obs.journal.replay_journal` re-dispatches in the
+        same order.  Keep the state updates in lockstep with the fast
+        path above.
+        """
+        obs = self._obs
+        timing = obs.timing
+        t_step = perf_counter() if timing else 0.0
+
+        state = self.configuration.states[pid]
+        branches = self.protocol.branches(pid, state)
+        if self._strict:
+            self.protocol.validate_branches(branches)
+        if len(branches) == 1:
+            branch = branches[0]
+        else:
+            weights = [b.probability for b in branches]
+            branch = branches[self._proc_rngs[pid].choice_index(weights)]
+            self.coin_flips[pid] += 1
+            obs.coin_flip(pid, len(branches))
+        op = branch.op
+        t_trans = perf_counter() - t_step if timing else 0.0
+
+        if isinstance(op, ReadOp):
+            slot = self.layout.check_read(pid, op.register)
+            result: Hashable = self.configuration.registers[slot]
+            obs.read(pid, op.register, result)
+        elif isinstance(op, WriteOp):
+            slot = self.layout.check_write(pid, op.register)
+            self.configuration = self.configuration.with_register(slot, op.value)
+            result = None
+            obs.write(pid, op.register, op.value)
+        else:
+            raise ProtocolError(f"unknown operation {op!r}")
+
+        t1 = perf_counter() if timing else 0.0
+        new_state = self.protocol.observe(pid, state, op, result)
+        self.configuration = self.configuration.with_state(pid, new_state)
+        self.activations[pid] += 1
+
+        decided = self.protocol.output(pid, new_state)
+        if timing:
+            t_trans += perf_counter() - t1
+        if decided is not None:
+            self.decisions[pid] = decided
+            self.decision_activation[pid] = self.activations[pid]
+            obs.decision(pid, decided, self.activations[pid])
+
+        record = StepRecord(
+            index=self.step_index, pid=pid, op=op, result=result, decided=decided
+        )
+        self.step_index += 1
+        obs.step(record.index, pid, op, result, decided)
+        if self.trace is not None:
+            self.trace.append(record)
+        if timing:
+            obs.phase_time("transition", t_trans)
+            obs.phase_time("step", perf_counter() - t_step)
+        return record
+
+    def run(self, max_steps: int,
+            max_consults: Optional[int] = None) -> RunResult:
+        """Run until every live processor decides, or a budget is hit.
+
+        Two budgets bound the run.  ``max_steps`` bounds executed
+        processor steps, as before.  ``max_consults`` additionally
+        bounds *scheduler consultations*: a ``Crash`` action consumes
+        no ``step_index``, so without this second budget a crash-happy
+        adversary does unbounded scheduler work relative to
+        ``max_steps``.  The default budget,
+        ``max_steps + n_processes``, can never cut short a well-formed
+        run (each step consumes one consultation and at most
+        ``n_processes - 1`` crashes exist), so only pathological
+        schedulers notice it.  The consumed count is reported on
+        :attr:`RunResult.sched_consults` and via the observability
+        metrics.
+        """
+        if max_consults is None:
+            max_consults = max_steps + self.protocol.n_processes
+        obs = self._obs
+        if obs is not None:
+            obs.run_start(self.protocol.name, self.protocol.n_processes,
+                          self.inputs)
+        while (not self.finished and self.step_index < max_steps
+               and self.sched_consults < max_consults):
             self.step()
-        return self.result()
+        result = self.result()
+        if obs is not None:
+            obs.run_end(result)
+        return result
 
     def result(self) -> RunResult:
         """Snapshot the current run summary."""
@@ -330,6 +475,7 @@ class Simulation:
             completed=self.finished,
             trace=self.trace,
             final_configuration=self.configuration,
+            sched_consults=self.sched_consults,
         )
 
     # ------------------------------------------------------------------

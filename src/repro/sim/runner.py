@@ -14,8 +14,10 @@ and input assignments can be randomized per run.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
+from repro.obs.hooks import BaseSink
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import RunResult, Simulation
 from repro.sim.process import Automaton
 from repro.sim.rng import ReplayableRng
@@ -39,14 +41,26 @@ class RunStats:
     steps_to_decide: Dict[int, int]
     coin_flips: Dict[int, int]
     crashed: frozenset = frozenset()
+    sched_consults: int = 0
 
 
 @dataclasses.dataclass
 class BatchStats:
-    """Aggregate statistics over a batch of runs."""
+    """Aggregate statistics over a batch of runs.
+
+    ``metrics`` carries the :class:`~repro.obs.metrics.MetricsRegistry`
+    that observed the batch, when the runner had one attached; it holds
+    the streaming aggregates (histograms with percentiles, event
+    counters) that the per-run :class:`RunStats` summaries do not.
+    """
 
     runs: List[RunStats]
     max_steps: int
+    metrics: Optional[MetricsRegistry] = None
+
+    def metrics_dict(self) -> Optional[Dict[str, Any]]:
+        """JSON-ready snapshot of the attached registry, if any."""
+        return self.metrics.to_dict() if self.metrics is not None else None
 
     @property
     def n_runs(self) -> int:
@@ -147,16 +161,32 @@ class ExperimentRunner:
         inputs_factory: InputsFactory,
         seed: int,
         strict: bool = False,
+        sinks: Sequence[BaseSink] = (),
     ) -> None:
         self._protocol_factory = protocol_factory
         self._scheduler_factory = scheduler_factory
         self._inputs_factory = inputs_factory
         self._seed = seed
         self._strict = strict
+        self._sinks = tuple(sinks)
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The attached batch-wide metrics registry, if any."""
+        for sink in self._sinks:
+            if isinstance(sink, MetricsRegistry):
+                return sink
+        return None
 
     def run_one(self, run_index: int, max_steps: int,
-                record_trace: bool = False) -> RunResult:
-        """Execute a single run (deterministic given the runner seed)."""
+                record_trace: bool = False,
+                sinks: Optional[Sequence[BaseSink]] = None) -> RunResult:
+        """Execute a single run (deterministic given the runner seed).
+
+        Sinks never perturb the run itself: the kernel's coin streams
+        are independent of observation, so results are bit-identical
+        with and without instrumentation.
+        """
         rng = ReplayableRng(self._seed).child("run", run_index)
         protocol = self._protocol_factory()
         scheduler = self._scheduler_factory(rng.child("sched"))
@@ -168,11 +198,18 @@ class ExperimentRunner:
             rng.child("kernel"),
             record_trace=record_trace,
             strict=self._strict,
+            sinks=self._sinks if sinks is None else sinks,
         )
         return sim.run(max_steps)
 
     def run_many(self, n_runs: int, max_steps: int) -> BatchStats:
-        """Execute ``n_runs`` independent runs and aggregate."""
+        """Execute ``n_runs`` independent runs and aggregate.
+
+        The runner's sinks are shared across all runs, so an attached
+        :class:`~repro.obs.metrics.MetricsRegistry` accumulates the
+        whole batch; it is handed to the returned
+        :class:`BatchStats` as ``metrics``.
+        """
         runs: List[RunStats] = []
         for i in range(n_runs):
             result = self.run_one(i, max_steps)
@@ -187,6 +224,8 @@ class ExperimentRunner:
                     steps_to_decide=dict(result.decision_activation),
                     coin_flips=dict(result.coin_flips),
                     crashed=result.crashed,
+                    sched_consults=result.sched_consults,
                 )
             )
-        return BatchStats(runs=runs, max_steps=max_steps)
+        return BatchStats(runs=runs, max_steps=max_steps,
+                          metrics=self.metrics)

@@ -112,9 +112,16 @@ class Trace:
         return [record for record in self._steps if record.decided is not None]
 
     def render(self, limit: Optional[int] = None) -> str:
-        """Multi-line rendering of the trace (truncated at ``limit`` steps)."""
+        """Multi-line rendering of the trace (truncated at ``limit`` steps).
+
+        A :class:`CrashRecord` carries the index of the *next* step at
+        the moment the crash was injected, so on equal indices the
+        crash precedes the step in the serialization order and renders
+        first.
+        """
         events: List[object] = sorted(
-            list(self._steps) + list(self._crashes), key=lambda e: e.index
+            list(self._steps) + list(self._crashes),
+            key=lambda e: (e.index, isinstance(e, StepRecord)),
         )
         if limit is not None and len(events) > limit:
             shown = events[:limit]

@@ -77,3 +77,73 @@ class TestGameAndTower:
         assert main(["tower", "--seeds", "3"]) == 0
         out = capsys.readouterr().out
         assert "mrsw-atomic" in out and "atomic" in out
+
+
+class TestSolveObservability:
+    def test_metrics_flag_prints_registry(self, capsys):
+        assert main(["solve", "--inputs", "a,b", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "steps_to_decide" in out and "p99" in out
+
+    def test_journal_flag_writes_replayable_file(self, tmp_path, capsys):
+        path = str(tmp_path / "solve.jsonl")
+        assert main(["solve", "--inputs", "a,b", "--seed", "3",
+                     "--journal", path]) == 0
+        assert "journal:" in capsys.readouterr().out
+        from repro.obs import replay_journal
+
+        replayed = replay_journal(path)
+        assert replayed.counters["runs"].value == 1
+        assert replayed.counters["decisions"].value == 2
+
+
+class TestReport:
+    def test_report_prints_percentiles_and_histograms(self, capsys):
+        assert main(["report", "--protocol", "two", "--runs", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "steps_to_decide" in out
+        assert "p50" in out and "p90" in out and "p99" in out
+        assert "coin_flips_per_decision" in out
+        assert "#" in out  # histogram bars
+
+    def test_report_journal_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "batch.jsonl")
+        assert main(["report", "--protocol", "three-unbounded",
+                     "--inputs", "a,b,a", "--runs", "20",
+                     "--journal", path]) == 0
+        live_out = capsys.readouterr().out
+        assert main(["report", "--from-journal", path]) == 0
+        replay_out = capsys.readouterr().out
+        # The metrics block must be identical live and replayed.
+        live_metrics = live_out[live_out.index("counters:"):
+                                live_out.index("\n\nsteps_to_decide")]
+        replay_metrics = replay_out[replay_out.index("counters:"):
+                                    replay_out.index("\n\nsteps_to_decide")]
+        assert live_metrics == replay_metrics
+        assert "num_depth" in live_out
+
+    def test_report_timing(self, capsys):
+        assert main(["report", "--runs", "10", "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timing:" in out
+        assert "transition" in out
+
+    def test_report_json_record(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "report.json")
+        assert main(["report", "--runs", "10", "--json", path]) == 0
+        with open(path) as fh:
+            doc = json.load(fh)
+        record = doc["records"][0]
+        assert record["experiment"] == "cli_report"
+        obs = record["metrics"]["observability"]
+        assert obs["counters"]["runs"] == 10
+        assert obs["histograms"]["steps_to_decide"]["p99"] >= 1
+
+    def test_report_all_schedulers(self):
+        for sched in ("random", "round-robin", "oblivious", "split-vote",
+                      "laggard-freezer"):
+            assert main(["report", "--runs", "5",
+                         "--scheduler", sched]) == 0

@@ -1,0 +1,158 @@
+"""Tests for the JSONL run journal: schema, streaming, and replay parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.obs.journal import (
+    SCHEMA_VERSION,
+    JsonlJournal,
+    iter_events,
+    replay_journal,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sched.crash import CrashingScheduler, CrashPlan
+from repro.sched.simple import RandomScheduler, RoundRobinScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+from repro.sim.runner import ExperimentRunner
+
+
+def journaled_batch(tmp_path, protocol_factory, inputs, n_runs=20, seed=4):
+    """Run a batch with both a live registry and a journal attached."""
+    path = str(tmp_path / "run.jsonl")
+    live = MetricsRegistry()
+    journal = JsonlJournal(path)
+    runner = ExperimentRunner(
+        protocol_factory=protocol_factory,
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: inputs,
+        seed=seed,
+        sinks=(live, journal),
+    )
+    stats = runner.run_many(n_runs, max_steps=4000)
+    journal.close()
+    return path, live, stats
+
+
+class TestSchema:
+    def test_header_and_line_validity(self, tmp_path):
+        path, _, _ = journaled_batch(
+            tmp_path, lambda: TwoProcessProtocol(), ("a", "b"), n_runs=3)
+        with open(path) as fh:
+            lines = [json.loads(l) for l in fh if l.strip()]
+        assert lines[0] == {"t": "journal", "v": SCHEMA_VERSION}
+        kinds = {l["t"] for l in lines[1:]}
+        assert kinds == {"run_start", "step", "run_end"}
+        assert sum(1 for l in lines if l["t"] == "run_start") == 3
+        assert sum(1 for l in lines if l["t"] == "run_end") == 3
+
+    def test_step_events_carry_op_fields(self, tmp_path):
+        path, _, _ = journaled_batch(
+            tmp_path, lambda: TwoProcessProtocol(), ("a", "b"), n_runs=1)
+        steps = [e for e in iter_events(path) if e["t"] == "step"]
+        reads = [e for e in steps if e["op"] == "read"]
+        writes = [e for e in steps if e["op"] == "write"]
+        assert reads and writes
+        assert all("reg" in e and "result" in e for e in reads)
+        assert all("reg" in e and "value" in e for e in writes)
+        decided = [e for e in steps if "dec" in e]
+        assert len(decided) == 2
+        assert all(isinstance(e["act"], int) for e in decided)
+
+    def test_prefnum_serialized_structurally(self, tmp_path):
+        path, _, _ = journaled_batch(
+            tmp_path, lambda: ThreeUnboundedProtocol(), ("a", "b", "a"),
+            n_runs=1)
+        writes = [e for e in iter_events(path)
+                  if e["t"] == "step" and e["op"] == "write"]
+        assert all(isinstance(e["value"], dict) and "num" in e["value"]
+                   for e in writes)
+
+    def test_crash_events_journaled(self, tmp_path):
+        path = str(tmp_path / "crash.jsonl")
+        journal = JsonlJournal(path)
+        rng = ReplayableRng(0)
+        scheduler = CrashingScheduler(RoundRobinScheduler(),
+                                      CrashPlan(at_step={2: 1}))
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"), scheduler,
+                         rng.child("kernel"), sinks=(journal,))
+        sim.run(100)
+        journal.close()
+        events = list(iter_events(path))
+        crashes = [e for e in events if e["t"] == "crash"]
+        assert crashes == [{"t": "crash", "i": 2, "pid": 1}]
+        end = [e for e in events if e["t"] == "run_end"][0]
+        assert end["crashed"] == [1]
+
+    def test_header_validation(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t":"step"}\n')
+        with pytest.raises(ValueError, match="header"):
+            list(iter_events(str(bad)))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            list(iter_events(str(empty)))
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text('{"t":"journal","v":999}\n')
+        with pytest.raises(ValueError, match="version"):
+            list(iter_events(str(wrong)))
+
+    def test_unknown_event_rejected_on_replay(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"t":"journal","v":1}\n{"t":"mystery"}\n')
+        with pytest.raises(ValueError, match="mystery"):
+            replay_journal(str(path))
+
+
+class TestReplayParity:
+    def test_replay_reproduces_live_metrics_two_process(self, tmp_path):
+        path, live, _ = journaled_batch(
+            tmp_path, lambda: TwoProcessProtocol(), ("a", "b"), n_runs=30)
+        replayed = replay_journal(path)
+        assert replayed.to_dict() == live.to_dict()
+
+    def test_replay_reproduces_live_metrics_three_process(self, tmp_path):
+        # Exercises the num-depth path through the dict round trip.
+        path, live, _ = journaled_batch(
+            tmp_path, lambda: ThreeUnboundedProtocol(), ("a", "b", "a"),
+            n_runs=15)
+        replayed = replay_journal(path)
+        assert replayed.to_dict() == live.to_dict()
+        assert replayed.gauges["max_num_depth"].maximum >= 1
+
+    def test_replay_into_existing_registry_accumulates(self, tmp_path):
+        path, live, _ = journaled_batch(
+            tmp_path, lambda: TwoProcessProtocol(), ("a", "b"), n_runs=5)
+        reg = replay_journal(path)
+        reg = replay_journal(path, registry=reg)
+        assert reg.counters["runs"].value == 2 * live.counters["runs"].value
+
+    def test_journal_does_not_retain_events(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JsonlJournal(path)
+        rng = ReplayableRng(1)
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         RandomScheduler(rng.child("sched")),
+                         rng.child("kernel"), sinks=(journal,))
+        sim.run(4000)
+        assert journal.events_written > 0
+        # The only Python-side state is the in-flight step scratch.
+        assert journal._pending == {}
+        journal.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "cm.jsonl")
+        with JsonlJournal(path) as journal:
+            rng = ReplayableRng(2)
+            sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                             RandomScheduler(rng.child("sched")),
+                             rng.child("kernel"), sinks=(journal,))
+            sim.run(4000)
+        assert journal._fh.closed
+        assert list(iter_events(path))

@@ -1,0 +1,214 @@
+"""Tests for the streaming metrics instruments and the registry sink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sched.simple import FixedScheduler, RandomScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+from repro.sim.runner import ExperimentRunner
+
+
+def run_with_registry(protocol, inputs, seed=0, max_steps=50_000):
+    reg = MetricsRegistry()
+    rng = ReplayableRng(seed)
+    sim = Simulation(protocol, inputs, RandomScheduler(rng.child("sched")),
+                     rng.child("kernel"), sinks=(reg,))
+    return sim.run(max_steps), reg
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        other = Counter()
+        other.inc(7)
+        c.merge(other)
+        assert c.value == 12
+
+    def test_gauge_tracks_extremes(self):
+        g = Gauge()
+        for x in (3, 7, 1):
+            g.set(x)
+        assert g.value == 1 and g.minimum == 1 and g.maximum == 7
+
+    def test_gauge_merge(self):
+        a, b = Gauge(), Gauge()
+        a.set(5)
+        b.set(2)
+        b.set(9)
+        a.merge(b)
+        assert a.minimum == 2 and a.maximum == 9
+
+    def test_histogram_percentiles_match_nearest_rank(self):
+        from repro.analysis.stats import percentile
+
+        h = Histogram()
+        data = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
+        for x in data:
+            h.observe(x)
+        for q in (0.5, 0.9, 0.99):
+            assert h.percentile(q) == percentile(sorted(data), q)
+        assert h.mean == pytest.approx(sum(data) / len(data))
+        assert h.minimum == 1 and h.maximum == 55
+
+    def test_histogram_empty(self):
+        h = Histogram()
+        assert h.p50 is None and h.mean is None and h.total == 0
+        assert h.tail_probability(3) is None
+
+    def test_histogram_tail_probability(self):
+        h = Histogram()
+        for x in (1, 2, 3, 4):
+            h.observe(x)
+        assert h.tail_probability(2) == 0.5
+        assert h.tail_probability(0) == 1.0
+        assert h.tail_probability(4) == 0.0
+
+    def test_histogram_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1, 3)
+        b.observe(1)
+        b.observe(2)
+        a.merge(b)
+        assert a.counts == {1: 4, 2: 1}
+        assert a.total == 5
+
+
+class TestRegistryOnRuns:
+    def test_counters_match_run_result(self):
+        result, reg = run_with_registry(TwoProcessProtocol(), ("a", "b"))
+        assert reg.counters["steps"].value == result.total_steps
+        assert reg.counters["coin_flips"].value == sum(
+            result.coin_flips.values())
+        assert reg.counters["decisions"].value == len(result.decisions)
+        assert reg.counters["runs"].value == 1
+        assert reg.counters["runs_completed"].value == 1
+        assert reg.counters["sched_consults"].value == result.sched_consults
+        assert (reg.counters["reads"].value + reg.counters["writes"].value
+                == result.total_steps)
+
+    def test_steps_to_decide_histogram_matches(self):
+        result, reg = run_with_registry(TwoProcessProtocol(), ("a", "b"),
+                                        seed=5)
+        hist = reg.histograms["steps_to_decide"]
+        assert hist.total == len(result.decision_activation)
+        assert sorted(
+            v for v, c in hist.counts.items() for _ in range(c)
+        ) == sorted(result.decision_activation.values())
+
+    def test_num_depth_observed_for_three_processor(self):
+        result, reg = run_with_registry(ThreeUnboundedProtocol(),
+                                        ("a", "b", "a"), seed=3)
+        assert result.completed
+        assert reg.gauges["max_num_depth"].maximum >= 1
+        assert reg.histograms["num_depth"].total == \
+            reg.counters["writes"].value
+
+    def test_no_num_depth_for_two_processor(self):
+        _, reg = run_with_registry(TwoProcessProtocol(), ("a", "b"))
+        assert "num_depth" not in reg.histograms
+        assert "max_num_depth" not in reg.gauges
+
+    def test_register_contention_counts_unread_overwrites(self):
+        # P0 writes its register twice in a row: the first value was
+        # never read by anyone, so the second write is contention.
+        reg = MetricsRegistry()
+        reg.on_run_start("t", 2, ("a", "b"))
+        reg.on_write(0, "r0", "x")
+        reg.on_write(0, "r0", "y")
+        assert reg.counters["register_contention"].value == 1
+        reg.on_read(1, "r0", "y")
+        reg.on_write(0, "r0", "z")
+        assert reg.counters["register_contention"].value == 1
+
+    def test_batch_aggregation_across_runs(self):
+        reg = MetricsRegistry()
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=11,
+            sinks=(reg,),
+        )
+        stats = runner.run_many(25, max_steps=4000)
+        assert stats.metrics is reg
+        assert reg.counters["runs"].value == 25
+        assert reg.counters["runs_completed"].value == 25
+        assert reg.histograms["steps_to_decide"].total == 50
+        assert reg.counters["steps"].value == sum(
+            r.total_steps for r in stats.runs)
+        assert stats.metrics_dict()["counters"]["runs"] == 25
+
+    def test_registry_merge_equals_single_batch(self):
+        def batch(reg, lo, hi):
+            runner = ExperimentRunner(
+                protocol_factory=lambda: TwoProcessProtocol(),
+                scheduler_factory=lambda rng: RandomScheduler(rng),
+                inputs_factory=lambda i, rng: ("a", "b"),
+                seed=9,
+                sinks=(reg,),
+            )
+            for i in range(lo, hi):
+                runner.run_one(i, max_steps=4000)
+
+        whole = MetricsRegistry()
+        batch(whole, 0, 20)
+        left, right = MetricsRegistry(), MetricsRegistry()
+        batch(left, 0, 10)
+        batch(right, 10, 20)
+        left.merge(right)
+        assert left.to_dict() == whole.to_dict()
+
+    def test_render_mentions_percentiles(self):
+        _, reg = run_with_registry(TwoProcessProtocol(), ("a", "b"))
+        text = reg.render()
+        assert "p50" in text and "p99" in text
+        assert "steps_to_decide" in text
+
+    def test_custom_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("mine").inc(3)
+        assert reg.counter("mine").value == 3
+        reg.histogram("h").observe(4)
+        assert reg.histogram("h").p50 == 4
+        d = reg.to_dict()
+        assert d["counters"]["mine"] == 3
+        assert d["histograms"]["h"]["count"] == 1
+
+
+class TestReportingIntegration:
+    def test_batch_metrics_carries_observability_block(self):
+        from repro.analysis.reporting import batch_metrics, record_batch
+
+        reg = MetricsRegistry()
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=2,
+            sinks=(reg,),
+        )
+        stats = runner.run_many(10, max_steps=4000)
+        metrics = batch_metrics(stats)
+        assert metrics["observability"]["counters"]["runs"] == 10
+        record = record_batch("exp", "two", "random", "a,b", 2, stats)
+        assert "observability" in record.metrics
+
+    def test_plain_batch_has_no_observability_block(self):
+        from repro.analysis.reporting import batch_metrics
+
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=2,
+        )
+        stats = runner.run_many(5, max_steps=4000)
+        assert "observability" not in batch_metrics(stats)

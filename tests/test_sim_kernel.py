@@ -158,6 +158,35 @@ class TestValidation:
             make_sim(inputs=("a",))
 
 
+class TestPartiallyDecidedAccounting:
+    def test_steps_to_decide_on_partially_decided_run(self):
+        # Only P0 moves: it decides, P1 never does.
+        sim = make_sim(scheduler=FixedScheduler([0, 0]))
+        sim.step(), sim.step()
+        result = sim.result()
+        assert result.decisions == {0: "a"}
+        assert result.steps_to_decide(0) == 2
+        assert result.steps_to_decide(1) is None
+        assert result.max_steps_to_decide() == 2
+        assert not result.all_decided
+
+    def test_max_steps_to_decide_none_when_nobody_decided(self):
+        sim = make_sim()
+        sim.step()
+        result = sim.result()
+        assert result.decision_activation == {}
+        assert result.max_steps_to_decide() is None
+        assert result.steps_to_decide(0) is None
+
+    def test_crashed_processor_excluded_from_all_decided(self):
+        sim = make_sim(scheduler=FixedScheduler([0, 0, 0, 0]))
+        sim.crash(1)
+        result = sim.run(100)
+        assert result.all_decided
+        assert result.steps_to_decide(1) is None
+        assert result.max_steps_to_decide() == result.steps_to_decide(0)
+
+
 class TestDeterminismOfRuns:
     def test_same_seed_reproduces_run(self):
         r1 = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=3,

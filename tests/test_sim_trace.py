@@ -59,6 +59,38 @@ class TestTrace:
         assert "crashed" in rendered
         assert trace.crashes[0].pid == 1
 
+    def test_equal_index_interleaving_renders_crash_first(self):
+        # A CrashRecord carries the index of the *next* step at crash
+        # time, so on equal indices the crash precedes the step in the
+        # serialization order and must render first.
+        trace = Trace()
+        trace.append(StepRecord(index=0, pid=0,
+                                op=WriteOp("r0", "a"), result=None))
+        trace.append_crash(CrashRecord(index=1, pid=1))
+        trace.append(StepRecord(index=1, pid=0, op=ReadOp("r1"),
+                                result=None, decided="a"))
+        lines = trace.render().splitlines()
+        assert len(lines) == 3
+        assert "crashed" in lines[1]
+        assert "read" in lines[2]
+
+    def test_equal_index_interleaving_from_live_run(self):
+        # Crash P1 right before P0's second step: both records get
+        # index 1 and the crash must come first in the rendering.
+        sim = Simulation(
+            TwoProcessProtocol(), ("a", "b"), FixedScheduler([0, 0, 0]),
+            ReplayableRng(0), record_trace=True,
+        )
+        sim.step()
+        sim.crash(1)
+        sim.run(50)
+        assert sim.trace.crashes[0].index == 1
+        lines = sim.trace.render().splitlines()
+        assert "crashed" in lines[1]
+        assert lines[1].startswith("#1")
+        assert lines[2].startswith("#1")
+        assert "crashed" not in lines[2]
+
     def test_step_record_render_shapes(self):
         read = StepRecord(index=3, pid=1, op=ReadOp("r0"), result="a")
         assert "read" in read.render() and "'a'" in read.render()
