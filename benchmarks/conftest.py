@@ -62,6 +62,17 @@ def report() -> ExperimentReport:
     return REPORT
 
 
+REGEN_NOTE = (
+    "# Experiment tables: paper claim vs measured value.\n"
+    "# Regenerate the full report (all E1..E10 + ablations + "
+    "infrastructure rows) with:\n"
+    "#   PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only\n"
+    "# Running a subset rewrites this file with only that subset's "
+    "sections.\n"
+    "# See docs/EXPERIMENTS.md for the benchmark-to-theorem map.\n"
+)
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not REPORT.sections:
         return
@@ -69,5 +80,5 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     terminalreporter.write_line(text)
     path = os.path.join(os.path.dirname(__file__), "latest_report.txt")
     with open(path, "w") as fh:
-        fh.write(text + "\n")
+        fh.write(REGEN_NOTE + text + "\n")
     terminalreporter.write_line(f"\n[experiment tables saved to {path}]")

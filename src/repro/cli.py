@@ -22,6 +22,7 @@ Examples::
     python -m repro game --cost processor:0
     python -m repro tower --seeds 20
     python -m repro report --protocol two --runs 5000
+    python -m repro report --runs 100000 --workers 8
     python -m repro report --from-journal run.jsonl
 """
 
@@ -204,28 +205,6 @@ def _cmd_tower(args: argparse.Namespace) -> int:
     return 0
 
 
-def _scheduler_factory(name: str):
-    """Per-run scheduler factory (stateful adversaries must be fresh)."""
-    from repro.sched import (
-        LaggardFreezer,
-        ObliviousScheduler,
-        RandomScheduler,
-        RoundRobinScheduler,
-        SplitVoteAdversary,
-    )
-
-    table = {
-        "random": lambda rng: RandomScheduler(rng),
-        "round-robin": lambda rng: RoundRobinScheduler(),
-        "oblivious": lambda rng: ObliviousScheduler(rng),
-        "split-vote": lambda rng: SplitVoteAdversary(),
-        "laggard-freezer": lambda rng: LaggardFreezer(),
-    }
-    if name not in table:
-        raise SystemExit(f"unknown scheduler {name!r}")
-    return table[name]
-
-
 def _print_histogram(name: str, hist) -> None:
     """Full distribution of one histogram, with proportional bars."""
     if not hist.total:
@@ -250,7 +229,7 @@ def _print_report(metrics, title: str) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import JsonlJournal, MetricsRegistry, PhaseTimer
+    from repro.obs import MetricsRegistry, PhaseTimer
 
     if args.from_journal:
         from repro.obs import replay_journal
@@ -259,35 +238,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
         _print_report(metrics, f"replayed journal: {args.from_journal}")
         return 0
 
+    from repro.parallel.tasks import (ConstantInputs, ProtocolSpec,
+                                      SchedulerSpec)
     from repro.sim.runner import ExperimentRunner
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.timing and args.workers > 1:
+        raise SystemExit("--timing needs --workers 1 (wall-clock phases "
+                         "cannot be attributed across worker processes)")
 
     inputs = tuple(args.inputs.split(","))
     protocol_name = args.protocol
     metrics = MetricsRegistry()
     timer = PhaseTimer() if args.timing else None
-    journal = JsonlJournal(args.journal) if args.journal else None
-    sinks = tuple(s for s in (metrics, journal, timer) if s is not None)
+    sinks = tuple(s for s in (metrics, timer) if s is not None)
     runner = ExperimentRunner(
-        protocol_factory=lambda: _build_protocol(protocol_name, len(inputs)),
-        scheduler_factory=_scheduler_factory(args.scheduler),
-        inputs_factory=lambda i, rng: inputs,
+        protocol_factory=ProtocolSpec(protocol_name, len(inputs)),
+        scheduler_factory=SchedulerSpec(args.scheduler),
+        inputs_factory=ConstantInputs(inputs),
         seed=args.seed,
         sinks=sinks,
     )
-    stats = runner.run_many(args.runs, max_steps=args.max_steps)
-    if journal is not None:
-        journal.close()
+    stats = runner.run_many(
+        args.runs,
+        max_steps=args.max_steps,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        journal_path=args.journal,
+    )
 
+    sharded = (f", {args.workers} workers"
+               if args.workers > 1 else "")
     _print_report(
         metrics,
         f"{args.runs} runs of {protocol_name!r} on inputs {args.inputs} "
-        f"under {args.scheduler!r} (seed {args.seed})",
+        f"under {args.scheduler!r} (seed {args.seed}{sharded})",
     )
     if timer is not None:
         print("\nphase timing:")
         print(timer.render())
-    if journal is not None:
-        print(f"\njournal: {args.journal} ({journal.events_written} events)")
+    if stats.journal_path is not None:
+        print(f"\njournal: {stats.journal_path} "
+              f"({stats.journal_events} events)")
     if args.json:
         from repro.analysis.reporting import dump_records, record_batch
 
@@ -378,6 +371,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-steps", type=int, default=4000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the batch across N worker processes "
+                        "(results are bit-identical at any N)")
+    p.add_argument("--shard-size", type=int, default=None,
+                   help="runs per shard (default: one shard per worker)")
     p.add_argument("--journal", metavar="PATH", default=None,
                    help="stream a JSONL event journal to PATH")
     p.add_argument("--from-journal", metavar="PATH", default=None,

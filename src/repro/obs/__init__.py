@@ -26,7 +26,8 @@ slow or memory-hungry:
 """
 
 from repro.obs.hooks import BaseSink, ObsHub
-from repro.obs.journal import JsonlJournal, iter_events, replay_journal
+from repro.obs.journal import (JsonlJournal, concatenate_journals,
+                               iter_events, replay_journal)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.timers import PhaseTimer
 
@@ -38,6 +39,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "JsonlJournal",
+    "concatenate_journals",
     "iter_events",
     "replay_journal",
     "PhaseTimer",

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Hashable, IO, Iterator, Optional, Tuple, Union
+from typing import (Any, Dict, Hashable, IO, Iterator, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.obs.hooks import BaseSink
 from repro.obs.metrics import MetricsRegistry
@@ -165,6 +166,50 @@ class JsonlJournal(BaseSink):
         })
         self._fh.flush()
         self._since_flush = 0
+
+
+# -- shard concatenation ----------------------------------------------
+
+
+def concatenate_journals(shard_paths: Sequence[str], out_path: str) -> int:
+    """Concatenate journal shards into one journal with a single header.
+
+    Used by the parallel batch engine: each worker streams its shard of
+    runs to its own journal file, and this stitches the shards back
+    together in shard order — which is global run order, because shards
+    are contiguous index ranges.  Every shard's header line is
+    validated (and dropped, except that ``out_path`` gets one fresh
+    header), and event lines are copied verbatim, so the result is
+    byte-identical to the journal a serial run over the same index
+    range would have written.
+
+    Returns the total line count of ``out_path`` (header included),
+    matching the ``events_written`` a live :class:`JsonlJournal` would
+    report for the same stream.
+    """
+    events = 0
+    with open(out_path, "w") as out:
+        out.write(json.dumps({"t": "journal", "v": SCHEMA_VERSION},
+                             separators=(",", ":"), sort_keys=True) + "\n")
+        events += 1
+        for path in shard_paths:
+            with open(path) as fh:
+                first = fh.readline()
+                if not first:
+                    raise ValueError(f"{path}: empty journal shard")
+                header = json.loads(first)
+                if header.get("t") != "journal":
+                    raise ValueError(f"{path}: missing journal header line")
+                if header.get("v") != SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported journal version "
+                        f"{header.get('v')!r}"
+                    )
+                for line in fh:
+                    if line.strip():
+                        out.write(line)
+                        events += 1
+    return events
 
 
 # -- reading and replay -----------------------------------------------

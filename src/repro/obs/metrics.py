@@ -36,6 +36,7 @@ class Counter:
         self.value += n
 
     def merge(self, other: "Counter") -> None:
+        """Fold ``other`` in: counts add (associative and commutative)."""
         self.value += other.value
 
     def __repr__(self) -> str:
@@ -60,6 +61,15 @@ class Gauge:
             self.maximum = x
 
     def merge(self, other: "Gauge") -> None:
+        """Fold ``other`` in, treating it as the *later* shard.
+
+        ``minimum``/``maximum`` become the unions (associative and
+        commutative); ``value`` is last-writer-wins in merge order —
+        ``other``'s value if it ever set one, else unchanged.  Merging
+        shards in run-index order therefore reproduces exactly the
+        final value a serial pass would have left.  An ``other`` that
+        never observed anything is a no-op.
+        """
         for x in (other.minimum, other.maximum, other.value):
             if x is not None:
                 self.set(x)
@@ -134,6 +144,11 @@ class Histogram:
         return above / self.total
 
     def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` in: exact counts union key-wise (counts for
+        shared values add, disjoint values are inserted), so the merge
+        is associative, commutative, and lossless — percentiles of the
+        merged histogram equal percentiles of the pooled sample.
+        """
         for value, count in other.counts.items():
             self.observe(value, count)
 
@@ -272,7 +287,21 @@ class MetricsRegistry(BaseSink):
     # -- aggregation and output ---------------------------------------
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry into this one (for sharded batches)."""
+        """Fold another registry into this one (for sharded batches).
+
+        Instruments are matched by name; ones existing only in
+        ``other`` are created here (so merging into a fresh registry
+        copies ``other``'s aggregates).  Semantics per kind: counters
+        add, histograms union their exact counts, gauges union min/max
+        with a last-writer-wins value — so merging shard registries in
+        run-index order (what :func:`repro.parallel.run_parallel` does)
+        yields a registry whose :meth:`to_dict` snapshot is
+        bit-identical to observing the whole batch serially.  The merge
+        is associative; only the gauge ``value`` field makes it
+        non-commutative.  Per-run scratch state (coin-flip attribution,
+        unread-write tracking) is *not* merged: merge between runs, not
+        mid-run.  ``other`` is read, never mutated.
+        """
         for name, c in other.counters.items():
             self.counter(name).merge(c)
         for name, g in other.gauges.items():

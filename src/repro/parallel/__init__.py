@@ -1,0 +1,54 @@
+"""Sharded Monte-Carlo batch execution across worker processes.
+
+The paper's quantitative claims — Theorem 7's ≤ (1/4)^(k/2) tail, the
+≤ 10 expected-steps corollary, Theorem 9's (3/4)^k num-depth envelope —
+are estimated by Monte-Carlo batches, and resolving the deep tails
+takes run counts that are slow in a single process.  Runs are
+independent experiments keyed by ``derive_seed(root_seed, "run", i)``,
+so they shard across processes with bit-identical results:
+
+* :mod:`repro.parallel.engine` — :func:`run_parallel` splits the run
+  index range into contiguous shards, executes each in a
+  ``multiprocessing`` worker with its own metrics registry / journal
+  shard, and deterministically merges everything back into one
+  :class:`~repro.sim.runner.BatchStats`.
+* :mod:`repro.parallel.tasks` — picklable factory specs
+  (:class:`ProtocolSpec`, :class:`SchedulerSpec`,
+  :class:`ConstantInputs`) so task descriptions survive the ``spawn``
+  boundary.
+
+Most callers never import this package directly: pass ``workers=N`` to
+:meth:`ExperimentRunner.run_many` or ``--workers N`` to
+``repro report``.  See ``docs/EXPERIMENTS.md`` for the sharding
+contract and benchmark results.
+"""
+
+from repro.parallel.engine import (
+    BatchSpec,
+    ShardResult,
+    ShardTask,
+    plan_shards,
+    run_parallel,
+    shard_journal_path,
+)
+from repro.parallel.tasks import (
+    PROTOCOL_NAMES,
+    SCHEDULER_NAMES,
+    ConstantInputs,
+    ProtocolSpec,
+    SchedulerSpec,
+)
+
+__all__ = [
+    "BatchSpec",
+    "ShardResult",
+    "ShardTask",
+    "plan_shards",
+    "run_parallel",
+    "shard_journal_path",
+    "ConstantInputs",
+    "ProtocolSpec",
+    "SchedulerSpec",
+    "PROTOCOL_NAMES",
+    "SCHEDULER_NAMES",
+]

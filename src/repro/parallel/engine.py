@@ -1,0 +1,239 @@
+"""Process-pool execution engine for Monte-Carlo batches.
+
+Runs in a batch are independent coin-flip experiments: every stochastic
+stream of run ``i`` derives from ``derive_seed(root_seed, "run", i)``
+(see :meth:`repro.sim.runner.ExperimentRunner.run_one`), so a run's
+outcome depends only on the root seed and its index — never on which
+process executes it or in what order.  That makes batches trivially
+shardable: split the index range ``[0, n_runs)`` into contiguous
+shards, execute each shard in a worker process, and merge the shards
+back in index order.  The merged result is bit-identical to a serial
+run with the same root seed, at any worker count and any shard size.
+
+Each worker observes its shard with its own
+:class:`~repro.obs.metrics.MetricsRegistry` (and, when asked, its own
+JSONL journal shard).  The merge step is deterministic:
+
+* per-run :class:`~repro.sim.runner.RunStats` concatenate in shard
+  order, which *is* global run order because shards are contiguous;
+* shard registries fold together via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge` in shard order
+  (counters add, histograms union counts, gauges keep min/max unions
+  and take the last shard's last value);
+* journal shards concatenate via
+  :func:`~repro.obs.journal.concatenate_journals`, keeping a single
+  header line — byte-identical to the journal a serial run writes.
+
+Task specs must pickle (the engine checks up front and raises a
+descriptive error otherwise): use module-level factory functions or the
+spec classes in :mod:`repro.parallel.tasks`.  The default start method
+is ``spawn`` — the only method that is safe on every platform — so
+workers re-import the library rather than inheriting interpreter state.
+On POSIX hosts ``mp_context="fork"`` skips the per-worker interpreter
+start-up and is measurably faster for short batches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+import pickle
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.obs.journal import JsonlJournal, concatenate_journals
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchSpec:
+    """Everything a worker needs to rebuild the experiment.
+
+    The three factories follow the :class:`ExperimentRunner` contract
+    (see :mod:`repro.sim.runner`) and must be picklable.
+    """
+
+    protocol_factory: Callable
+    scheduler_factory: Callable
+    inputs_factory: Callable
+    seed: int
+    strict: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """One contiguous slice ``[start, stop)`` of a batch's run indices."""
+
+    spec: BatchSpec
+    start: int
+    stop: int
+    max_steps: int
+    with_metrics: bool
+    journal_path: Optional[str] = None
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """What a worker sends back: per-run stats plus shard aggregates."""
+
+    start: int
+    stop: int
+    runs: List
+    metrics: Optional[MetricsRegistry]
+    journal_events: int = 0
+
+
+def plan_shards(n_runs: int, workers: int,
+                shard_size: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Partition ``[0, n_runs)`` into contiguous ``(start, stop)`` shards.
+
+    The default shard size is ``ceil(n_runs / workers)`` — one shard
+    per worker, the lowest-overhead choice for uniform runs.  Pass a
+    smaller ``shard_size`` when per-run cost varies (adversarial
+    schedulers, mixed inputs) so the pool can load-balance; results are
+    identical either way.
+    """
+    if n_runs < 0:
+        raise ValueError(f"n_runs must be >= 0, got {n_runs}")
+    if shard_size is None:
+        shard_size = max(1, math.ceil(n_runs / max(1, workers)))
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    return [(start, min(start + shard_size, n_runs))
+            for start in range(0, n_runs, shard_size)]
+
+
+def shard_journal_path(journal_path: str, shard_index: int) -> str:
+    """The temporary path shard ``shard_index`` streams its journal to."""
+    return f"{journal_path}.shard{shard_index:04d}"
+
+
+def _execute_shard(task: ShardTask) -> ShardResult:
+    """Worker entry point: run one shard with its own sinks.
+
+    Module-level (not a closure) so it pickles under the ``spawn``
+    start method.  Reuses :class:`ExperimentRunner` — the exact code
+    path of a serial batch — with the shard's private registry and
+    journal attached.
+    """
+    from repro.sim.runner import ExperimentRunner, RunStats
+
+    registry = MetricsRegistry() if task.with_metrics else None
+    journal = (JsonlJournal(task.journal_path)
+               if task.journal_path is not None else None)
+    sinks = tuple(s for s in (registry, journal) if s is not None)
+    runner = ExperimentRunner(
+        protocol_factory=task.spec.protocol_factory,
+        scheduler_factory=task.spec.scheduler_factory,
+        inputs_factory=task.spec.inputs_factory,
+        seed=task.spec.seed,
+        strict=task.spec.strict,
+        sinks=sinks,
+    )
+    runs = [RunStats.from_result(i, runner.run_one(i, task.max_steps))
+            for i in range(task.start, task.stop)]
+    events = 0
+    if journal is not None:
+        events = journal.events_written
+        journal.close()
+    return ShardResult(start=task.start, stop=task.stop, runs=runs,
+                       metrics=registry, journal_events=events)
+
+
+def _check_picklable(spec: BatchSpec) -> None:
+    try:
+        pickle.dumps(spec)
+    except Exception as exc:
+        raise ValueError(
+            "parallel batches need picklable factories (they cross a "
+            "process boundary): use module-level functions or the spec "
+            "classes in repro.parallel.tasks (ProtocolSpec, "
+            "SchedulerSpec, ConstantInputs) instead of lambdas or "
+            f"closures [pickle said: {exc}]"
+        ) from exc
+
+
+def run_parallel(
+    spec: BatchSpec,
+    n_runs: int,
+    max_steps: int,
+    workers: int,
+    shard_size: Optional[int] = None,
+    journal_path: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+    mp_context: str = "spawn",
+):
+    """Execute a sharded batch and merge it back into one ``BatchStats``.
+
+    Parameters
+    ----------
+    registry:
+        The caller's batch-wide :class:`MetricsRegistry`, if it has
+        one.  Shard registries are folded into it in shard order and it
+        becomes ``BatchStats.metrics`` — mirroring the serial contract
+        where the runner's attached registry accumulates the batch.
+        When ``None``, no metrics are collected (again matching a
+        serial runner with no registry attached).
+    journal_path:
+        Final path of the batch journal.  Each shard streams to
+        ``<journal_path>.shard<k>``; the shards are concatenated (one
+        header, shard order) into ``journal_path`` and removed.
+    mp_context:
+        ``multiprocessing`` start method.  ``"spawn"`` (default) works
+        everywhere; ``"fork"`` is faster where available.
+
+    Returns a :class:`~repro.sim.runner.BatchStats` bit-identical to
+    the serial equivalent: same ``runs`` list, same merged metrics
+    snapshot, same journal bytes.
+    """
+    from repro.sim.runner import BatchStats
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    _check_picklable(spec)
+
+    shards = plan_shards(n_runs, workers, shard_size)
+    with_metrics = registry is not None
+    tasks = [
+        ShardTask(
+            spec=spec,
+            start=start,
+            stop=stop,
+            max_steps=max_steps,
+            with_metrics=with_metrics,
+            journal_path=(shard_journal_path(journal_path, k)
+                          if journal_path is not None else None),
+        )
+        for k, (start, stop) in enumerate(shards)
+    ]
+
+    if not tasks:
+        results: List[ShardResult] = []
+    elif len(tasks) == 1 or workers == 1:
+        # Nothing to parallelize; run in-process, same code path.
+        results = [_execute_shard(t) for t in tasks]
+    else:
+        ctx = multiprocessing.get_context(mp_context)
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            results = pool.map(_execute_shard, tasks)
+
+    runs = [r for shard in results for r in shard.runs]
+    if with_metrics:
+        for shard in results:
+            registry.merge(shard.metrics)
+
+    journal_events: Optional[int] = None
+    if journal_path is not None:
+        parts = [t.journal_path for t in tasks]
+        journal_events = concatenate_journals(parts, journal_path)
+        for part in parts:
+            os.remove(part)
+
+    return BatchStats(
+        runs=runs,
+        max_steps=max_steps,
+        metrics=registry,
+        journal_path=journal_path,
+        journal_events=journal_events,
+    )

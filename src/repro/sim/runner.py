@@ -9,6 +9,12 @@ scheduler family and aggregates per-processor decision costs.
 Factories (rather than instances) are taken for the protocol, the
 scheduler, and the inputs so that stateful schedulers are fresh per run
 and input assignments can be randomized per run.
+
+Every run is keyed by ``derive_seed(root_seed, "run", run_index)``
+(through :meth:`ReplayableRng.child`), never by execution order, so
+batches shard across worker processes with bit-identical results —
+``run_many(..., workers=N)`` delegates to :mod:`repro.parallel` and
+merges the shards back deterministically.
 """
 
 from __future__ import annotations
@@ -30,7 +36,17 @@ InputsFactory = Callable[[int, ReplayableRng], Sequence[Hashable]]
 
 @dataclasses.dataclass(frozen=True)
 class RunStats:
-    """Condensed per-run record kept by the runner."""
+    """Condensed per-run record kept by the runner.
+
+    Partially decided runs (``completed=False``, e.g. cut off by the
+    ``max_steps`` budget or starved by an adversary) still populate
+    every field, but the per-processor maps are *sparse*:
+    ``decisions`` and ``steps_to_decide`` carry entries only for the
+    processors that actually decided, while ``coin_flips`` has an
+    entry for every processor that flipped at least one coin (decided
+    or not).  ``crashed`` lists processors the scheduler fail-stopped;
+    they never appear in ``decisions``.
+    """
 
     run_index: int
     completed: bool
@@ -43,6 +59,27 @@ class RunStats:
     crashed: frozenset = frozenset()
     sched_consults: int = 0
 
+    @classmethod
+    def from_result(cls, run_index: int, result: RunResult) -> "RunStats":
+        """Condense a kernel :class:`RunResult` into the batch record.
+
+        This is the single conversion point shared by the serial loop
+        and the parallel shard workers, so both produce field-identical
+        records for the same seeded run.
+        """
+        return cls(
+            run_index=run_index,
+            completed=result.completed,
+            consistent=result.consistent,
+            nontrivial=result.nontrivial,
+            total_steps=result.total_steps,
+            decisions=dict(result.decisions),
+            steps_to_decide=dict(result.decision_activation),
+            coin_flips=dict(result.coin_flips),
+            crashed=result.crashed,
+            sched_consults=result.sched_consults,
+        )
+
 
 @dataclasses.dataclass
 class BatchStats:
@@ -52,11 +89,38 @@ class BatchStats:
     that observed the batch, when the runner had one attached; it holds
     the streaming aggregates (histograms with percentiles, event
     counters) that the per-run :class:`RunStats` summaries do not.
+
+    **Lifetime.** The registry is the *runner's* sink, not a copy: it
+    is live before ``run_many`` is called, keeps accumulating if the
+    same runner executes another batch, and is shared by every
+    ``BatchStats`` that runner returns.  Snapshot it
+    (:meth:`metrics_dict`) when you need the state of one batch in
+    isolation — or use a fresh runner (and registry) per batch, which
+    is what the CLI and benchmarks do.
+
+    **Merge semantics (sharded batches).** When ``run_many`` executes
+    with ``workers > 1``, each worker process observes its contiguous
+    shard of run indices with a private registry, and the shards are
+    folded into the runner's registry in shard order via
+    :meth:`MetricsRegistry.merge`: counters add, histograms union
+    their exact counts, and gauges union min/max while the *value*
+    field is last-writer-wins in shard order — the same final value a
+    serial pass over the runs in index order would have left.  Because
+    every run's randomness is keyed only by ``(root seed, run index)``,
+    the merged registry snapshot, the ``runs`` list, and any journal
+    written are bit-identical to a ``workers=1`` batch with the same
+    seed.
+
+    ``journal_path`` / ``journal_events`` are set when ``run_many`` was
+    asked to stream a journal (``journal_path=...``): the path of the
+    finished JSONL file and its line count (header included).
     """
 
     runs: List[RunStats]
     max_steps: int
     metrics: Optional[MetricsRegistry] = None
+    journal_path: Optional[str] = None
+    journal_events: Optional[int] = None
 
     def metrics_dict(self) -> Optional[Dict[str, Any]]:
         """JSON-ready snapshot of the attached registry, if any."""
@@ -86,7 +150,10 @@ class BatchStats:
         """Steps-to-decide samples pooled over all processors and runs.
 
         This is the distribution the paper's Theorem 7 tail bound and
-        its expected-steps corollary speak about.
+        its expected-steps corollary speak about.  Only processors
+        that actually decided contribute a sample — partially decided
+        runs contribute their deciders and nothing else (use
+        :meth:`tail_probability` for a censoring-aware estimate).
         """
         samples: List[int] = []
         for run in self.runs:
@@ -202,30 +269,86 @@ class ExperimentRunner:
         )
         return sim.run(max_steps)
 
-    def run_many(self, n_runs: int, max_steps: int) -> BatchStats:
+    def run_many(
+        self,
+        n_runs: int,
+        max_steps: int,
+        workers: int = 1,
+        shard_size: Optional[int] = None,
+        journal_path: Optional[str] = None,
+        mp_context: str = "spawn",
+    ) -> BatchStats:
         """Execute ``n_runs`` independent runs and aggregate.
 
         The runner's sinks are shared across all runs, so an attached
         :class:`~repro.obs.metrics.MetricsRegistry` accumulates the
-        whole batch; it is handed to the returned
-        :class:`BatchStats` as ``metrics``.
+        whole batch; it is handed to the returned :class:`BatchStats`
+        as ``metrics``.
+
+        ``workers > 1`` shards the run index range across that many
+        worker processes (see :mod:`repro.parallel`).  Because each
+        run's randomness is keyed only by the root seed and its index,
+        the result — run stats, merged metrics snapshot, and journal
+        bytes — is bit-identical to ``workers=1`` with the same seed,
+        at any worker count and ``shard_size``.  Parallel batches
+        require picklable factories (module-level functions or the
+        specs in :mod:`repro.parallel.tasks`), and the only sink kind
+        that may be attached is a :class:`MetricsRegistry` (shards
+        merge into it); stream a journal with ``journal_path=``
+        instead of attaching a :class:`JsonlJournal` sink.
+
+        ``journal_path`` streams a batch-spanning JSONL journal to that
+        path in either mode; the finished path and its event count are
+        reported on the returned stats.
         """
-        runs: List[RunStats] = []
-        for i in range(n_runs):
-            result = self.run_one(i, max_steps)
-            runs.append(
-                RunStats(
-                    run_index=i,
-                    completed=result.completed,
-                    consistent=result.consistent,
-                    nontrivial=result.nontrivial,
-                    total_steps=result.total_steps,
-                    decisions=dict(result.decisions),
-                    steps_to_decide=dict(result.decision_activation),
-                    coin_flips=dict(result.coin_flips),
-                    crashed=result.crashed,
-                    sched_consults=result.sched_consults,
+        if workers > 1:
+            from repro.parallel.engine import BatchSpec, run_parallel
+
+            unsupported = [s for s in self._sinks
+                           if not isinstance(s, MetricsRegistry)]
+            if unsupported:
+                names = ", ".join(type(s).__name__ for s in unsupported)
+                raise ValueError(
+                    f"sinks cannot cross process boundaries in a "
+                    f"parallel batch (attached: {names}); attach only a "
+                    f"MetricsRegistry and pass journal_path= for "
+                    f"journals, or run with workers=1"
                 )
+            spec = BatchSpec(
+                protocol_factory=self._protocol_factory,
+                scheduler_factory=self._scheduler_factory,
+                inputs_factory=self._inputs_factory,
+                seed=self._seed,
+                strict=self._strict,
             )
-        return BatchStats(runs=runs, max_steps=max_steps,
-                          metrics=self.metrics)
+            return run_parallel(
+                spec, n_runs, max_steps,
+                workers=workers, shard_size=shard_size,
+                journal_path=journal_path, registry=self.metrics,
+                mp_context=mp_context,
+            )
+
+        journal = None
+        sinks = None
+        if journal_path is not None:
+            from repro.obs.journal import JsonlJournal
+
+            journal = JsonlJournal(journal_path)
+            sinks = self._sinks + (journal,)
+        try:
+            runs = [
+                RunStats.from_result(i, self.run_one(i, max_steps,
+                                                     sinks=sinks))
+                for i in range(n_runs)
+            ]
+        finally:
+            if journal is not None:
+                journal.close()
+        return BatchStats(
+            runs=runs,
+            max_steps=max_steps,
+            metrics=self.metrics,
+            journal_path=journal_path,
+            journal_events=(journal.events_written
+                            if journal is not None else None),
+        )

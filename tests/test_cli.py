@@ -147,3 +147,38 @@ class TestReport:
                       "laggard-freezer"):
             assert main(["report", "--runs", "5",
                          "--scheduler", sched]) == 0
+
+    def test_report_workers_matches_serial(self, tmp_path, capsys):
+        import json
+
+        ser, par = str(tmp_path / "ser.json"), str(tmp_path / "par.json")
+        assert main(["report", "--runs", "40", "--seed", "7",
+                     "--json", ser]) == 0
+        assert main(["report", "--runs", "40", "--seed", "7",
+                     "--workers", "2", "--shard-size", "9",
+                     "--json", par]) == 0
+        out = capsys.readouterr().out
+        assert "2 workers" in out
+        with open(ser) as fh:
+            serial_metrics = json.load(fh)["records"][0]["metrics"]
+        with open(par) as fh:
+            parallel_metrics = json.load(fh)["records"][0]["metrics"]
+        assert parallel_metrics == serial_metrics
+
+    def test_report_workers_journal(self, tmp_path, capsys):
+        path = str(tmp_path / "par.jsonl")
+        assert main(["report", "--runs", "10", "--workers", "2",
+                     "--journal", path]) == 0
+        out = capsys.readouterr().out
+        assert "journal:" in out and "events" in out
+        from repro.obs import replay_journal
+
+        assert replay_journal(path).counters["runs"].value == 10
+
+    def test_report_timing_rejected_with_workers(self):
+        with pytest.raises(SystemExit, match="workers 1"):
+            main(["report", "--runs", "5", "--workers", "2", "--timing"])
+
+    def test_report_bad_worker_count_rejected(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["report", "--runs", "5", "--workers", "0"])

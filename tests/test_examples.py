@@ -29,6 +29,9 @@ CASES = [
      ["exact worst case = 10.0000", "optimal policy (value iteration)"]),
     ("model_contrast.py",
      ["Bracha-Toueg wall", "LOSES SAFETY", "survivor P1 decided"]),
+    ("parallel_sweep.py",
+     ["bit-identical run stats and merged metrics: True",
+      "tail P(steps > k)", "proof-implied"]),
 ]
 
 

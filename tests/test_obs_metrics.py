@@ -183,6 +183,107 @@ class TestRegistryOnRuns:
         assert d["histograms"]["h"]["count"] == 1
 
 
+class TestMergeEdgeCases:
+    """Shard-merge semantics the parallel engine relies on."""
+
+    @staticmethod
+    def copy(reg: MetricsRegistry) -> MetricsRegistry:
+        import pickle
+
+        return pickle.loads(pickle.dumps(reg))
+
+    def test_merge_empty_into_populated_is_noop(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(5)
+        reg.histogram("h").observe(2, 4)
+        before = reg.to_dict()
+        reg.merge(MetricsRegistry())
+        assert reg.to_dict() == before
+
+    def test_merge_populated_into_empty_copies_aggregates(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(3)
+        src.gauge("g").set(5)
+        src.gauge("g").set(1)
+        src.histogram("h").observe(2, 4)
+        dst = MetricsRegistry()
+        dst.merge(src)
+        assert dst.to_dict() == src.to_dict()
+
+    def test_merge_disjoint_histogram_keys(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("steps").observe(1, 10)
+        b.histogram("steps").observe(100, 2)
+        b.histogram("only_b").observe(7)
+        a.merge(b)
+        assert a.histograms["steps"].counts == {1: 10, 100: 2}
+        assert a.histograms["steps"].total == 12
+        assert a.histograms["steps"].mean == pytest.approx(210 / 12)
+        assert a.histograms["only_b"].counts == {7: 1}
+
+    def test_gauge_conflicts_take_last_writer_in_shard_order(self):
+        # Shard 0 leaves value=3, shard 1 leaves value=9: merged in
+        # shard order the batch-final value is shard 1's, exactly what
+        # a serial pass over runs 0..N-1 would have left.
+        shard0, shard1 = MetricsRegistry(), MetricsRegistry()
+        shard0.gauge("depth").set(7)
+        shard0.gauge("depth").set(3)
+        shard1.gauge("depth").set(9)
+        merged = MetricsRegistry()
+        merged.merge(shard0)
+        merged.merge(shard1)
+        g = merged.gauges["depth"]
+        assert g.value == 9
+        assert g.minimum == 3 and g.maximum == 9
+
+    def test_gauge_conflict_with_silent_last_shard(self):
+        # The last shard never touched the gauge: serial would keep the
+        # earlier shard's value, and so must the merge (None is not a
+        # write).
+        shard0, shard1 = MetricsRegistry(), MetricsRegistry()
+        shard0.gauge("depth").set(4)
+        shard1.counter("steps").inc()
+        merged = MetricsRegistry()
+        merged.merge(shard0)
+        merged.merge(shard1)
+        assert merged.gauges["depth"].value == 4
+
+    def test_merge_is_associative(self):
+        shards = []
+        for spec in ((("c", 2), ("g", 5), ("h", 1)),
+                     (("c", 7), ("g", 1), ("h", 9)),
+                     (("c", 1), ("other", 3), ("h", 1))):
+            reg = MetricsRegistry()
+            (cname, cn), (gname, gv), (hname, hv) = spec
+            reg.counter(cname).inc(cn)
+            reg.gauge(gname).set(gv)
+            reg.histogram(hname).observe(hv)
+            shards.append(reg)
+        a, b, c = shards
+
+        left = self.copy(a)
+        left.merge(b)
+        left.merge(c)
+
+        bc = self.copy(b)
+        bc.merge(c)
+        right = self.copy(a)
+        right.merge(bc)
+
+        assert left.to_dict() == right.to_dict()
+
+    def test_merge_does_not_mutate_source(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(2)
+        src.histogram("h").observe(1)
+        snapshot = src.to_dict()
+        dst = MetricsRegistry()
+        dst.counter("c").inc(1)
+        dst.merge(src)
+        assert src.to_dict() == snapshot
+
+
 class TestReportingIntegration:
     def test_batch_metrics_carries_observability_block(self):
         from repro.analysis.reporting import batch_metrics, record_batch

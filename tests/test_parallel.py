@@ -1,0 +1,243 @@
+"""Tests for the process-pool batch engine (`repro.parallel`).
+
+The engine's contract is exact: a sharded batch must be *bit-identical*
+to the serial batch with the same root seed — same `RunStats` list,
+same merged metrics snapshot, same journal bytes — at any worker count
+and shard size.  These tests pay for a handful of real `spawn` pools
+(the portable start method) and assert that equality end to end, plus
+the planner's partition properties and the descriptive failure modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import JsonlJournal, MetricsRegistry
+from repro.obs.journal import concatenate_journals
+from repro.parallel import (
+    BatchSpec,
+    ConstantInputs,
+    ProtocolSpec,
+    SchedulerSpec,
+    plan_shards,
+    run_parallel,
+)
+from repro.sim.runner import ExperimentRunner
+
+N_RUNS = 80
+MAX_STEPS = 4000
+SEED = 1234
+
+
+def make_two_process_protocol():
+    """Module-level factory: picklable without the spec classes."""
+    from repro.core import TwoProcessProtocol
+
+    return TwoProcessProtocol()
+
+
+def make_random_scheduler(rng):
+    from repro.sched import RandomScheduler
+
+    return RandomScheduler(rng)
+
+
+def make_ab_inputs(run_index, rng):
+    return ("a", "b")
+
+
+def make_runner(registry=None, seed=SEED):
+    sinks = (registry,) if registry is not None else ()
+    return ExperimentRunner(
+        protocol_factory=ProtocolSpec("two", 2),
+        scheduler_factory=SchedulerSpec("random"),
+        inputs_factory=ConstantInputs(("a", "b")),
+        seed=seed,
+        sinks=sinks,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serial") / "batch.jsonl")
+    reg = MetricsRegistry()
+    stats = make_runner(reg).run_many(N_RUNS, max_steps=MAX_STEPS,
+                                      journal_path=path)
+    return stats, reg
+
+
+@pytest.fixture(scope="module")
+def parallel(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("parallel") / "batch.jsonl")
+    reg = MetricsRegistry()
+    stats = make_runner(reg).run_many(N_RUNS, max_steps=MAX_STEPS,
+                                      workers=2, journal_path=path)
+    return stats, reg
+
+
+class TestPlanShards:
+    def test_partitions_the_range(self):
+        for n, workers, size in ((0, 4, None), (1, 4, None), (17, 4, None),
+                                 (17, 4, 3), (100, 7, None), (5, 16, None)):
+            shards = plan_shards(n, workers, size)
+            covered = [i for lo, hi in shards for i in range(lo, hi)]
+            assert covered == list(range(n))
+            assert all(lo < hi for lo, hi in shards)
+
+    def test_default_is_one_shard_per_worker(self):
+        assert len(plan_shards(100, 4)) == 4
+        assert plan_shards(100, 4) == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_shard_size_overrides(self):
+        assert plan_shards(10, 2, shard_size=3) == [
+            (0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 2)
+        with pytest.raises(ValueError):
+            plan_shards(10, 2, shard_size=0)
+
+
+class TestBitIdenticalMerge:
+    def test_run_stats_identical(self, serial, parallel):
+        s_stats, _ = serial
+        p_stats, _ = parallel
+        assert p_stats.runs == s_stats.runs
+        assert [r.run_index for r in p_stats.runs] == list(range(N_RUNS))
+        assert p_stats.max_steps == s_stats.max_steps
+
+    def test_metrics_snapshot_identical(self, serial, parallel):
+        _, s_reg = serial
+        p_stats, p_reg = parallel
+        assert p_reg.to_dict() == s_reg.to_dict()
+        # The runner's attached registry is the merge target.
+        assert p_stats.metrics is p_reg
+
+    def test_journal_bytes_identical(self, serial, parallel):
+        s_stats, _ = serial
+        p_stats, _ = parallel
+        with open(s_stats.journal_path, "rb") as fh:
+            s_bytes = fh.read()
+        with open(p_stats.journal_path, "rb") as fh:
+            p_bytes = fh.read()
+        assert p_bytes == s_bytes
+        assert p_stats.journal_events == s_stats.journal_events
+
+    def test_shard_parts_cleaned_up(self, parallel, tmp_path):
+        p_stats, _ = parallel
+        import glob
+
+        assert glob.glob(p_stats.journal_path + ".shard*") == []
+
+    def test_shard_size_invariance(self, serial):
+        s_stats, s_reg = serial
+        reg = MetricsRegistry()
+        stats = make_runner(reg).run_many(N_RUNS, max_steps=MAX_STEPS,
+                                          workers=2, shard_size=7)
+        assert stats.runs == s_stats.runs
+        assert reg.to_dict() == s_reg.to_dict()
+
+    def test_more_workers_than_runs(self):
+        few_serial = make_runner().run_many(3, max_steps=MAX_STEPS)
+        few_parallel = make_runner().run_many(3, max_steps=MAX_STEPS,
+                                              workers=8)
+        assert few_parallel.runs == few_serial.runs
+
+    def test_module_level_function_factories(self):
+        def runner(workers):
+            return ExperimentRunner(
+                protocol_factory=make_two_process_protocol,
+                scheduler_factory=make_random_scheduler,
+                inputs_factory=make_ab_inputs,
+                seed=SEED,
+            )
+
+        assert (runner(2).run_many(6, max_steps=MAX_STEPS, workers=2).runs
+                == runner(1).run_many(6, max_steps=MAX_STEPS).runs)
+
+
+class TestEdgesAndErrors:
+    def test_empty_batch(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        stats = make_runner().run_many(0, max_steps=MAX_STEPS, workers=4,
+                                       journal_path=path)
+        assert stats.runs == []
+        assert stats.metrics is None
+        # Journal still gets its header line, like a serial empty batch.
+        assert stats.journal_events == 1
+        serial = make_runner().run_many(0, max_steps=MAX_STEPS,
+                                        journal_path=str(tmp_path / "s.jsonl"))
+        with open(path) as a, open(serial.journal_path) as b:
+            assert a.read() == b.read()
+
+    def test_no_metrics_sink_means_no_metrics(self):
+        stats = make_runner().run_many(4, max_steps=MAX_STEPS, workers=2)
+        assert stats.metrics is None
+
+    def test_lambda_factories_rejected_with_pointer(self):
+        runner = ExperimentRunner(
+            protocol_factory=lambda: None,
+            scheduler_factory=lambda rng: None,
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="repro.parallel.tasks"):
+            runner.run_many(4, max_steps=100, workers=2)
+
+    def test_journal_sink_rejected_in_parallel(self, tmp_path):
+        journal = JsonlJournal(str(tmp_path / "j.jsonl"))
+        runner = ExperimentRunner(
+            protocol_factory=ProtocolSpec("two", 2),
+            scheduler_factory=SchedulerSpec("random"),
+            inputs_factory=ConstantInputs(("a", "b")),
+            seed=0,
+            sinks=(journal,),
+        )
+        with pytest.raises(ValueError, match="journal_path"):
+            runner.run_many(4, max_steps=100, workers=2)
+        journal.close()
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_parallel(
+                BatchSpec(ProtocolSpec("two", 2), SchedulerSpec("random"),
+                          ConstantInputs(("a", "b")), seed=0),
+                4, 100, workers=0,
+            )
+
+    def test_concatenate_rejects_headerless_shard(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t":"step","i":0}\n')
+        with pytest.raises(ValueError, match="header"):
+            concatenate_journals([str(bad)], str(tmp_path / "out.jsonl"))
+
+    def test_concatenate_rejects_empty_shard(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            concatenate_journals([str(empty)], str(tmp_path / "out.jsonl"))
+
+
+class TestSpecs:
+    def test_protocol_spec_names(self):
+        assert ProtocolSpec("two", 2)().n_processes == 2
+        assert ProtocolSpec("three-unbounded", 3)().n_processes == 3
+        assert ProtocolSpec("n", 5)().n_processes == 5
+        with pytest.raises(ValueError, match="unknown protocol"):
+            ProtocolSpec("nope", 2)()
+
+    def test_scheduler_spec_names(self):
+        from repro.sim.rng import ReplayableRng
+
+        rng = ReplayableRng(0)
+        for name in ("random", "round-robin", "oblivious", "split-vote",
+                     "laggard-freezer"):
+            assert SchedulerSpec(name)(rng) is not None
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SchedulerSpec("nope")(rng)
+
+    def test_constant_inputs(self):
+        f = ConstantInputs(("x", "y"))
+        assert f(0, None) == ("x", "y")
+        assert f(99, None) == ("x", "y")
