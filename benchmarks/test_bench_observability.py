@@ -30,12 +30,15 @@ from repro.sim.runner import ExperimentRunner
 
 N_RUNS = 10_000
 MAX_STEPS = 4_000
-# Enabled-path budgets: ratios over the no-sink baseline.  Measured on
-# the reference machine: metrics ~1.15x, journal ~2.5x; the budgets
-# leave headroom for noisy CI hosts while still catching a hot-path
-# regression (e.g. an accidental allocation per event).
-METRICS_BUDGET = 2.0
-JOURNAL_BUDGET = 6.0
+# Enabled-path budgets: ratios over the no-sink baseline.  The
+# baseline is the kernel fast path's inlined sink-free loop (PR 3, see
+# docs/PERFORMANCE.md), so attaching any sink both adds the emissions
+# and leaves that inlining behind — measured on the reference machine:
+# metrics ~1.8x, journal ~2.8x.  The budgets leave headroom for noisy
+# CI hosts while still catching a hot-path regression (e.g. an
+# accidental allocation per event).
+METRICS_BUDGET = 3.5
+JOURNAL_BUDGET = 7.0
 
 BENCH_JSON = os.path.join(os.path.dirname(__file__),
                           "BENCH_observability.json")

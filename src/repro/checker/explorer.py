@@ -22,6 +22,7 @@ from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence,
 from repro.sim.config import Configuration, RegisterLayout
 from repro.sim.ops import ReadOp, WriteOp
 from repro.sim.process import Automaton
+from repro.sim.transitions import TransitionCache
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,8 +40,15 @@ class Successor:
     config: Configuration
 
 
-def enabled_pids(protocol: Automaton, config: Configuration) -> Tuple[int, ...]:
+def enabled_pids(protocol: Automaton, config: Configuration,
+                 cache: Optional[TransitionCache] = None) -> Tuple[int, ...]:
     """Processors that may still take a step (undecided ones)."""
+    if cache is not None:
+        output = cache.output
+        return tuple(
+            pid for pid in range(protocol.n_processes)
+            if output(pid, config.states[pid]) is None
+        )
     return tuple(
         pid for pid in range(protocol.n_processes)
         if protocol.output(pid, config.states[pid]) is None
@@ -51,15 +59,41 @@ def successors(
     protocol: Automaton,
     layout: RegisterLayout,
     config: Configuration,
+    cache: Optional[TransitionCache] = None,
 ) -> Iterator[Successor]:
-    """All one-step successors over scheduler choices × coin branches."""
+    """All one-step successors over scheduler choices × coin branches.
+
+    Passing the same :class:`~repro.sim.transitions.TransitionCache`
+    the kernel's fast path uses memoizes branch construction, slot
+    resolution, and ``observe``/``output`` across the whole BFS — the
+    same ``(pid, state)`` pair recurs in many configurations.
+    """
+    if cache is not None:
+        for pid in enabled_pids(protocol, config, cache):
+            state = config.states[pid]
+            entry = cache.entry(pid, state)
+            for branch_index, branch in enumerate(entry.branches):
+                op, is_read, slot, value = entry.execs[branch_index]
+                if is_read:
+                    result: Hashable = config.registers[slot]
+                    next_config = config
+                else:
+                    result = None
+                    next_config = config.with_register(slot, value)
+                new_state = cache.outcome(
+                    pid, state, entry, branch_index, result)[0]
+                yield Successor(
+                    pid=pid, probability=branch.probability, op=op,
+                    config=next_config.with_state(pid, new_state),
+                )
+        return
     for pid in enabled_pids(protocol, config):
         state = config.states[pid]
         for branch in protocol.branches(pid, state):
             op = branch.op
             if isinstance(op, ReadOp):
                 slot = layout.check_read(pid, op.register)
-                result: Hashable = config.registers[slot]
+                result = config.registers[slot]
                 next_config = config
             else:
                 assert isinstance(op, WriteOp)
@@ -129,7 +163,13 @@ def explore(
         used by the safety checker to test invariants without a second
         pass.
     """
-    layout = RegisterLayout.for_protocol(protocol)
+    # One TransitionCache for the whole BFS: (pid, state) pairs recur
+    # across configurations far more often than in a single run, so
+    # branch/slot/observe resolution is paid once per distinct pair.
+    # strict=False preserves the explorer's historical behavior of not
+    # validating branch distributions.
+    cache = TransitionCache(protocol, strict=False)
+    layout = cache.layout
     root = Configuration.initial(protocol, layout, inputs)
     depth_of: Dict[Configuration, int] = {root: 0}
     edges: Dict[Configuration, Tuple[Successor, ...]] = {}
@@ -146,13 +186,13 @@ def explore(
         if max_depth is not None and depth >= max_depth:
             # Depth budget: do not expand, but only a config that
             # actually has successors makes the graph incomplete.
-            if tuple(successors(protocol, layout, config)):
+            if tuple(successors(protocol, layout, config, cache)):
                 frontier.append(config)
                 complete = False
             else:
                 edges[config] = ()
             continue
-        succ = tuple(successors(protocol, layout, config))
+        succ = tuple(successors(protocol, layout, config, cache))
         edges[config] = succ
         for s in succ:
             if s.config not in depth_of:
@@ -172,7 +212,7 @@ def explore(
     for config in queue:
         if config not in edges:
             frontier.append(config)
-            if tuple(successors(protocol, layout, config)):
+            if tuple(successors(protocol, layout, config, cache)):
                 complete = False
 
     return ConfigGraph(

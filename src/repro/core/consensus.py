@@ -62,6 +62,7 @@ def solve(
     max_steps: int = 100_000,
     record_trace: bool = False,
     sinks: Sequence = (),
+    fast: bool = True,
 ) -> ConsensusOutcome:
     """Run one consensus instance and return its outcome.
 
@@ -85,6 +86,9 @@ def solve(
         Observability sinks (:mod:`repro.obs`) to attach to the run —
         e.g. a :class:`~repro.obs.metrics.MetricsRegistry` or a
         :class:`~repro.obs.journal.JsonlJournal`.
+    fast:
+        Kernel engine selection; ``fast=False`` is the reference-path
+        escape hatch (see docs/PERFORMANCE.md).
 
     Example
     -------
@@ -105,5 +109,6 @@ def solve(
         rng.child("kernel"),
         record_trace=record_trace,
         sinks=sinks,
+        fast=fast,
     )
     return ConsensusOutcome.from_run(sim.run(max_steps))

@@ -59,6 +59,9 @@ class BatchSpec:
     inputs_factory: Callable
     seed: int
     strict: bool = False
+    #: Kernel engine selection; workers inherit the fast path (and its
+    #: per-shard shared TransitionCache) by default.
+    fast: bool = True
 
 
 @dataclasses.dataclass(frozen=True)
@@ -130,6 +133,7 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         seed=task.spec.seed,
         strict=task.spec.strict,
         sinks=sinks,
+        fast=task.spec.fast,
     )
     runs = [RunStats.from_result(i, runner.run_one(i, task.max_steps))
             for i in range(task.start, task.stop)]

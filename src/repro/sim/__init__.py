@@ -19,6 +19,7 @@ from repro.sim.process import Automaton, Branch, RegisterSpec
 from repro.sim.config import Configuration
 from repro.sim.kernel import Simulation, RunResult
 from repro.sim.rng import ReplayableRng, derive_seed
+from repro.sim.transitions import TransitionCache
 from repro.sim.trace import StepRecord, Trace
 from repro.sim.runner import ExperimentRunner, RunStats, BatchStats
 from repro.sim.viz import (
@@ -40,6 +41,7 @@ __all__ = [
     "RunResult",
     "ReplayableRng",
     "derive_seed",
+    "TransitionCache",
     "StepRecord",
     "Trace",
     "ExperimentRunner",

@@ -13,6 +13,27 @@ Fail-stop crashes (the paper tolerates up to n−1 of them) are scheduler
 actions: a crashed processor is simply never activated again, which in a
 fully asynchronous model is indistinguishable from being infinitely
 slow.
+
+Two execution engines share this class (see docs/PERFORMANCE.md):
+
+* the **fast path** (default, ``fast=True``) keeps processor states and
+  register contents in mutable run-local buffers, resolves transitions
+  through a :class:`~repro.sim.transitions.TransitionCache`, and
+  materializes immutable :class:`~repro.sim.config.Configuration`
+  snapshots lazily — only when a scheduler view, trace, sink, or
+  :meth:`Simulation.result` asks for one;
+* the **reference path** (``fast=False``) preserves the original
+  kernel verbatim: an immutable configuration rebuilt via
+  ``with_state``/``with_register`` on every step, a fresh
+  ``protocol.branches()`` + validation + access check per step.
+
+The two paths consume randomness identically (same streams, same draw
+counts) and produce bit-identical :class:`RunResult`s; the differential
+suites in ``tests/test_kernel_fastpath.py`` and the Hypothesis harness
+enforce that.  The fast path additionally requires the
+:class:`~repro.sim.transitions.TransitionCache` contract (hashable,
+transition-stable states); protocols that violate it must pass
+``fast=False``.
 """
 
 from __future__ import annotations
@@ -28,6 +49,7 @@ from repro.sim.ops import ReadOp, WriteOp
 from repro.sim.process import Automaton
 from repro.sim.rng import ReplayableRng
 from repro.sim.trace import CrashRecord, StepRecord, Trace
+from repro.sim.transitions import TransitionCache
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,7 +78,15 @@ class SchedulerView:
     therefore exposes the full current configuration and the run's
     bookkeeping, while coins are sampled only after the scheduler has
     committed to an action.
+
+    ``state_of`` and ``register`` read the kernel's live buffers;
+    ``configuration`` materializes (and caches, until the next step)
+    an immutable snapshot — adaptive adversaries that map
+    configurations to processors pay that materialization once per
+    consultation, benign schedulers never do.
     """
+
+    __slots__ = ("_sim",)
 
     def __init__(self, simulation: "Simulation") -> None:
         self._sim = simulation
@@ -80,12 +110,12 @@ class SchedulerView:
     @property
     def enabled(self) -> Tuple[int, ...]:
         """Processors that may still be activated (alive and undecided)."""
-        return self._sim.enabled
+        return self._sim._enabled
 
     @property
     def alive(self) -> Tuple[int, ...]:
         """Processors that have not crashed (decided ones included)."""
-        return self._sim.alive
+        return self._sim._alive
 
     @property
     def crashed(self) -> frozenset:
@@ -101,10 +131,10 @@ class SchedulerView:
         return self._sim.activations[pid]
 
     def state_of(self, pid: int) -> Hashable:
-        return self._sim.configuration.states[pid]
+        return self._sim._state_of(pid)
 
     def register(self, name: str) -> Hashable:
-        return self._sim.configuration.registers[self._sim.layout.index_of(name)]
+        return self._sim._register_value(self._sim.layout.index_of(name))
 
     def decided(self, pid: int) -> Optional[Hashable]:
         return self._sim.decisions.get(pid)
@@ -181,13 +211,36 @@ class Simulation:
         Record a full :class:`~repro.sim.trace.Trace` (memory-heavy for
         long runs; off by default).
     strict:
-        Validate branch distributions on every step.  Slightly slower;
-        on by default since protocols here are research artifacts.
+        Validate branch distributions.  The reference path validates on
+        every step (as the seed kernel did); the fast path validates
+        once per distinct automaton state, when its transition entry is
+        built — equivalent for the transition-stable protocols the fast
+        path requires.
     sinks:
         Observability sinks (see :mod:`repro.obs`) to notify of kernel
         events.  With none attached (the default) the kernel keeps no
         hub at all and the hot path pays only ``is not None`` checks.
+    fast:
+        Select the execution engine (default True).  ``fast=False`` is
+        the escape hatch to the reference path for protocols that are
+        not transition-stable, and the baseline the kernel benchmark
+        gates against (see docs/PERFORMANCE.md).
+    cache:
+        A :class:`~repro.sim.transitions.TransitionCache` to reuse
+        (fast path only).  Sharing one across runs of equivalent
+        protocols amortizes branch resolution, layout construction and
+        initial-state derivation over a whole batch; omitted, the
+        simulation builds a private cache.
     """
+
+    __slots__ = (
+        "protocol", "inputs", "scheduler", "layout", "step_index",
+        "activations", "coin_flips", "decisions", "decision_activation",
+        "crashed", "sched_consults", "trace",
+        "_fast", "_cache", "_states", "_registers", "_config_cache",
+        "_obs", "_strict", "_rng", "_proc_rngs", "_view",
+        "_alive", "_enabled",
+    )
 
     def __init__(
         self,
@@ -198,17 +251,49 @@ class Simulation:
         record_trace: bool = False,
         strict: bool = True,
         sinks: Optional[Sequence[BaseSink]] = None,
+        fast: bool = True,
+        cache: Optional[TransitionCache] = None,
     ) -> None:
         if protocol.n_processes < 1:
             raise SimulationError("protocol declares no processors")
+        if cache is not None and not fast:
+            raise SimulationError(
+                "a TransitionCache requires the fast path (fast=True)"
+            )
+        n = protocol.n_processes
         self.protocol = protocol
         self.inputs: Tuple[Hashable, ...] = tuple(inputs)
+        if len(self.inputs) != n:
+            raise ValueError(
+                f"expected {n} inputs, got {len(self.inputs)}"
+            )
         self.scheduler = scheduler
-        self.layout = RegisterLayout.for_protocol(protocol)
-        self.configuration = Configuration.initial(protocol, self.layout, self.inputs)
+        self._fast = fast
+        initial_decisions: Optional[Dict[int, Hashable]] = None
+        if fast:
+            if cache is None:
+                cache = TransitionCache(protocol, strict=strict)
+            self._cache: Optional[TransitionCache] = cache
+            self.layout = cache.layout
+            # Mutable run-local buffers: the fast path's source of truth.
+            states, initial_decisions = cache.initial_states(self.inputs)
+            self._states: Optional[List[Hashable]] = list(states)
+            self._registers: Optional[List[Hashable]] = \
+                list(cache.initial_registers())
+            self._config_cache: Optional[Configuration] = None
+        else:
+            self._cache = None
+            self.layout = RegisterLayout.for_protocol(protocol)
+            # Reference path: the immutable configuration *is* the
+            # state, rebuilt per step exactly as the seed kernel did.
+            self._states = None
+            self._registers = None
+            self._config_cache = Configuration.initial(
+                protocol, self.layout, self.inputs
+            )
         self.step_index = 0
-        self.activations: Dict[int, int] = {p: 0 for p in range(protocol.n_processes)}
-        self.coin_flips: Dict[int, int] = {p: 0 for p in range(protocol.n_processes)}
+        self.activations: Dict[int, int] = dict.fromkeys(range(n), 0)
+        self.coin_flips: Dict[int, int] = dict.fromkeys(range(n), 0)
         self.decisions: Dict[int, Hashable] = {}
         self.decision_activation: Dict[int, int] = {}
         self.crashed: frozenset = frozenset()
@@ -217,37 +302,75 @@ class Simulation:
         self._obs = make_hub(sinks)
         self._strict = strict
         self._rng = rng
-        self._proc_rngs = [
-            rng.child("proc", pid) for pid in range(protocol.n_processes)
-        ]
+        self._proc_rngs = rng.children("proc", n)
         self._view = SchedulerView(self)
-        # Record decisions present in initial states (degenerate protocols).
-        for pid, value in self.configuration.decisions(protocol).items():
-            self.decisions[pid] = value
-            self.decision_activation[pid] = 0
+        # Incremental alive/enabled views: rebuilt only on the rare
+        # crash/decide events, so `finished` and the scheduler API are
+        # O(1) per step instead of the seed's two tuple rebuilds.
+        self._alive: Tuple[int, ...] = tuple(range(n))
+        self._enabled: Tuple[int, ...] = self._alive
+        # Record decisions present in initial states (degenerate
+        # protocols); the fast path gets them memoized from the cache.
+        if initial_decisions is None:
+            initial_decisions = {}
+            for pid, state in enumerate(self._config_cache.states):
+                value = protocol.output(pid, state)
+                if value is not None:
+                    initial_decisions[pid] = value
+        if initial_decisions:
+            self.decisions.update(initial_decisions)
+            self.decision_activation.update(
+                dict.fromkeys(initial_decisions, 0))
+            self._enabled = tuple(
+                pid for pid in self._alive if pid not in self.decisions
+            )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     @property
+    def configuration(self) -> Configuration:
+        """The current global snapshot (lazily materialized on the fast path).
+
+        The reference path maintains this eagerly; the fast path builds
+        it from the run buffers on first access after a step and caches
+        it until the next mutation, so repeated reads within one
+        scheduler consultation cost one construction.
+        """
+        config = self._config_cache
+        if config is None:
+            config = Configuration(
+                states=tuple(self._states), registers=tuple(self._registers)
+            )
+            self._config_cache = config
+        return config
+
+    @property
     def alive(self) -> Tuple[int, ...]:
-        return tuple(
-            pid for pid in range(self.protocol.n_processes)
-            if pid not in self.crashed
-        )
+        return self._alive
 
     @property
     def enabled(self) -> Tuple[int, ...]:
         """Alive processors that have not decided (decided ones halt)."""
-        return tuple(
-            pid for pid in self.alive if pid not in self.decisions
-        )
+        return self._enabled
 
     @property
     def finished(self) -> bool:
         """True when no processor can take a further step."""
-        return not self.enabled
+        return not self._enabled
+
+    def _state_of(self, pid: int) -> Hashable:
+        states = self._states
+        if states is None:
+            return self._config_cache.states[pid]
+        return states[pid]
+
+    def _register_value(self, slot: int) -> Hashable:
+        registers = self._registers
+        if registers is None:
+            return self._config_cache.registers[slot]
+        return registers[slot]
 
     # ------------------------------------------------------------------
     # Execution
@@ -264,10 +387,35 @@ class Simulation:
         if pid in self.crashed:
             raise SimulationError(f"processor {pid} already crashed")
         self.crashed = self.crashed | {pid}
+        self._alive = tuple(p for p in self._alive if p != pid)
+        self._enabled = tuple(p for p in self._enabled if p != pid)
         if self._obs is not None:
             self._obs.crash(pid, self.step_index)
         if self.trace is not None:
             self.trace.append_crash(CrashRecord(index=self.step_index, pid=pid))
+
+    def _record_decision(self, pid: int, value: Hashable) -> None:
+        self.decisions[pid] = value
+        self.decision_activation[pid] = self.activations[pid]
+        self._enabled = tuple([p for p in self._enabled if p != pid])
+
+    def _normalize_action(self, action) -> int:
+        """Resolve a scheduler action into the processor id to activate.
+
+        The scheduler contract (`choose(view) -> Activate | Crash | int`)
+        accepts a bare int as shorthand for ``Activate``; anything else
+        is a scheduler bug surfaced as a :class:`SimulationError`
+        (``bool`` is rejected even though it subclasses int — a
+        scheduler returning True/False is confused, not naming P1/P0).
+        """
+        if isinstance(action, Activate):
+            return action.pid
+        if isinstance(action, int) and not isinstance(action, bool):
+            return action
+        raise SimulationError(
+            f"scheduler returned {action!r}; expected Activate, Crash, "
+            f"or a bare processor id (int)"
+        )
 
     def step(self) -> StepRecord:
         """Execute one step, consulting the scheduler for who moves."""
@@ -286,8 +434,7 @@ class Simulation:
                 )
             self.sched_consults += 1
             action = self.scheduler.choose(self._view)
-        pid = action.pid if isinstance(action, Activate) else action
-        return self.step_processor(pid)
+        return self.step_processor(self._normalize_action(action))
 
     def _observed_step(self) -> StepRecord:
         """Instrumented twin of :meth:`step` (some sink is attached).
@@ -314,8 +461,7 @@ class Simulation:
             action = self.scheduler.choose(self._view)
         if timing:
             obs.phase_time("sched", perf_counter() - t0)
-        pid = action.pid if isinstance(action, Activate) else action
-        return self.step_processor(pid)
+        return self.step_processor(self._normalize_action(action))
 
     def step_processor(self, pid: int) -> StepRecord:
         """Execute one step of a specific processor (bypassing the scheduler)."""
@@ -326,8 +472,64 @@ class Simulation:
             raise SimulationError(f"scheduled decided processor {pid}")
         if self._obs is not None:
             return self._observed_step_processor(pid)
+        if self._fast:
+            return self._step_fast(pid)
+        return self._step_reference(pid)
 
-        state = self.configuration.states[pid]
+    def _step_fast(self, pid: int) -> StepRecord:
+        """One fast-path step, returning its :class:`StepRecord`.
+
+        Mirrors the body of :meth:`_run_fast`'s inner loop; the two
+        must stay in lockstep (this variant additionally allocates the
+        record the public API promises and feeds the trace).
+        """
+        states = self._states
+        state = states[pid]
+        cache = self._cache
+        entry = cache.entries.get((pid, state))
+        if entry is None:
+            entry = cache.entry(pid, state)
+        weights = entry.weights
+        if weights is None:
+            branch_index = 0
+        else:
+            branch_index = self._proc_rngs[pid].choice_index(
+                weights, entry.total)
+            self.coin_flips[pid] += 1
+        op, is_read, slot, value = entry.execs[branch_index]
+        if is_read:
+            result: Hashable = self._registers[slot]
+        else:
+            self._registers[slot] = value
+            result = None
+        outcome = entry.outcomes[branch_index].get(result)
+        if outcome is None:
+            outcome = cache.outcome(pid, state, entry, branch_index, result)
+        new_state, decided = outcome[0], outcome[1]
+        states[pid] = new_state
+        self._config_cache = None
+        self.activations[pid] += 1
+        if decided is not None:
+            self._record_decision(pid, decided)
+        record = StepRecord(
+            index=self.step_index, pid=pid, op=op, result=result,
+            decided=decided,
+        )
+        self.step_index += 1
+        if self.trace is not None:
+            self.trace.append(record)
+        return record
+
+    def _step_reference(self, pid: int) -> StepRecord:
+        """One reference-path step: the seed kernel's body, verbatim.
+
+        Immutable configuration rebuilt via ``with_register`` /
+        ``with_state``, fresh ``branches()`` + validation + access
+        check every step.  This is the baseline the differential tests
+        and the kernel benchmark compare the fast path against.
+        """
+        config = self._config_cache
+        state = config.states[pid]
         branches = self.protocol.branches(pid, state)
         if self._strict:
             self.protocol.validate_branches(branches)
@@ -341,22 +543,21 @@ class Simulation:
 
         if isinstance(op, ReadOp):
             slot = self.layout.check_read(pid, op.register)
-            result: Hashable = self.configuration.registers[slot]
+            result: Hashable = config.registers[slot]
         elif isinstance(op, WriteOp):
             slot = self.layout.check_write(pid, op.register)
-            self.configuration = self.configuration.with_register(slot, op.value)
+            config = config.with_register(slot, op.value)
             result = None
         else:
             raise ProtocolError(f"unknown operation {op!r}")
 
         new_state = self.protocol.observe(pid, state, op, result)
-        self.configuration = self.configuration.with_state(pid, new_state)
+        self._config_cache = config.with_state(pid, new_state)
         self.activations[pid] += 1
 
         decided = self.protocol.output(pid, new_state)
         if decided is not None:
-            self.decisions[pid] = decided
-            self.decision_activation[pid] = self.activations[pid]
+            self._record_decision(pid, decided)
 
         record = StepRecord(
             index=self.step_index, pid=pid, op=op, result=result, decided=decided
@@ -373,49 +574,80 @@ class Simulation:
         coin-flip, then read/write, then decision, then step —
         :func:`repro.obs.journal.replay_journal` re-dispatches in the
         same order.  Keep the state updates in lockstep with the fast
-        path above.
+        and reference bodies above (this one serves both engines: the
+        ``self._fast`` forks select cached vs. per-step resolution, and
+        buffer vs. immutable-configuration state, with identical
+        emissions either way).
         """
         obs = self._obs
         timing = obs.timing
         t_step = perf_counter() if timing else 0.0
+        fast = self._fast
 
-        state = self.configuration.states[pid]
-        branches = self.protocol.branches(pid, state)
-        if self._strict:
-            self.protocol.validate_branches(branches)
-        if len(branches) == 1:
-            branch = branches[0]
+        if fast:
+            state = self._states[pid]
+            cache = self._cache
+            entry = cache.entry(pid, state)
+            branches = entry.branches
         else:
-            weights = [b.probability for b in branches]
-            branch = branches[self._proc_rngs[pid].choice_index(weights)]
+            state = self._config_cache.states[pid]
+            entry = None
+            branches = self.protocol.branches(pid, state)
+            if self._strict:
+                self.protocol.validate_branches(branches)
+        if len(branches) == 1:
+            branch_index = 0
+        elif entry is not None:
+            branch_index = self._proc_rngs[pid].choice_index(
+                entry.weights, entry.total)
             self.coin_flips[pid] += 1
             obs.coin_flip(pid, len(branches))
-        op = branch.op
+        else:
+            weights = [b.probability for b in branches]
+            branch_index = self._proc_rngs[pid].choice_index(weights)
+            self.coin_flips[pid] += 1
+            obs.coin_flip(pid, len(branches))
+        op = branches[branch_index].op
         t_trans = perf_counter() - t_step if timing else 0.0
 
-        if isinstance(op, ReadOp):
+        if fast:
+            _, is_read, slot, value = entry.execs[branch_index]
+            if is_read:
+                result: Hashable = self._registers[slot]
+                obs.read(pid, op.register, result)
+            else:
+                self._registers[slot] = value
+                result = None
+                obs.write(pid, op.register, value)
+        elif isinstance(op, ReadOp):
             slot = self.layout.check_read(pid, op.register)
-            result: Hashable = self.configuration.registers[slot]
+            result = self._config_cache.registers[slot]
             obs.read(pid, op.register, result)
         elif isinstance(op, WriteOp):
             slot = self.layout.check_write(pid, op.register)
-            self.configuration = self.configuration.with_register(slot, op.value)
+            self._config_cache = self._config_cache.with_register(
+                slot, op.value)
             result = None
             obs.write(pid, op.register, op.value)
         else:
             raise ProtocolError(f"unknown operation {op!r}")
 
         t1 = perf_counter() if timing else 0.0
-        new_state = self.protocol.observe(pid, state, op, result)
-        self.configuration = self.configuration.with_state(pid, new_state)
+        if fast:
+            new_state, decided = self._cache.outcome(
+                pid, state, entry, branch_index, result)[:2]
+            self._states[pid] = new_state
+            self._config_cache = None
+        else:
+            new_state = self.protocol.observe(pid, state, op, result)
+            self._config_cache = self._config_cache.with_state(pid, new_state)
+            decided = self.protocol.output(pid, new_state)
         self.activations[pid] += 1
 
-        decided = self.protocol.output(pid, new_state)
         if timing:
             t_trans += perf_counter() - t1
         if decided is not None:
-            self.decisions[pid] = decided
-            self.decision_activation[pid] = self.activations[pid]
+            self._record_decision(pid, decided)
             obs.decision(pid, decided, self.activations[pid])
 
         record = StepRecord(
@@ -429,6 +661,106 @@ class Simulation:
             obs.phase_time("transition", t_trans)
             obs.phase_time("step", perf_counter() - t_step)
         return record
+
+    def _run_fast(self, max_steps: int, max_consults: int) -> None:
+        """The fast path's inlined run loop (no sinks, no trace).
+
+        Semantically identical to ``while not finished: self.step()``
+        but with the per-step :class:`StepRecord` allocation skipped
+        (nothing would consume it) and hot lookups bound to locals.
+        Counters the :class:`SchedulerView` exposes (``step_index``,
+        ``sched_consults``, ``activations``, ``coin_flips``,
+        ``decisions``) stay live on ``self`` so schedulers observe
+        exactly what they would under :meth:`step`.  Keep the step body
+        in lockstep with :meth:`_step_fast`.
+        """
+        n = self.protocol.n_processes
+        cache = self._cache
+        entries = cache.entries
+        build_entry = cache.entry
+        resolve_outcome = cache.outcome
+        states = self._states
+        registers = self._registers
+        proc_rngs = self._proc_rngs
+        choose = self.scheduler.choose
+        view = self._view
+        activations = self.activations
+        coin_flips = self.coin_flips
+        decisions = self.decisions
+        # Each live processor's current transition entry: seeded lazily
+        # from its state, then chained through the memoized outcomes'
+        # next-entry pointers — no per-step state hashing.  Local to
+        # this loop (nothing else mutates states while it runs).
+        cur_entries: List[Optional[object]] = [None] * n
+        # step_index/sched_consults are mirrored in locals and written
+        # back to self *before* every scheduler consultation, so views
+        # always read live values.
+        step_index = self.step_index
+        consults = self.sched_consults
+        crashed = self.crashed
+
+        while self._enabled and step_index < max_steps \
+                and consults < max_consults:
+            consults += 1
+            self.sched_consults = consults
+            action = choose(view)
+            cls = action.__class__
+            if cls is int:
+                pid = action
+            elif cls is Activate:
+                pid = action.pid
+            else:
+                # Cold branch: crash injections and exotic action types.
+                while isinstance(action, Crash):
+                    self.crash(action.pid)
+                    if not self._enabled:
+                        raise SimulationError(
+                            "scheduler crashed every remaining processor"
+                        )
+                    consults += 1
+                    self.sched_consults = consults
+                    action = choose(view)
+                crashed = self.crashed
+                pid = self._normalize_action(action)
+            if pid.__class__ is not int or not 0 <= pid < n:
+                self._check_pid(pid)
+            if pid in crashed:
+                raise SimulationError(f"scheduled crashed processor {pid}")
+            if pid in decisions:
+                raise SimulationError(f"scheduled decided processor {pid}")
+
+            entry = cur_entries[pid]
+            if entry is None:
+                state = states[pid]
+                entry = entries.get((pid, state))
+                if entry is None:
+                    entry = build_entry(pid, state)
+            weights = entry.weights
+            if weights is None:
+                branch_index = 0
+            else:
+                branch_index = proc_rngs[pid].choice_index(
+                    weights, entry.total)
+                coin_flips[pid] += 1
+            _, is_read, slot, value = entry.execs[branch_index]
+            if is_read:
+                result = registers[slot]
+            else:
+                registers[slot] = value
+                result = None
+            outcome = entry.outcomes[branch_index].get(result)
+            if outcome is None:
+                outcome = resolve_outcome(pid, states[pid], entry,
+                                          branch_index, result)
+            states[pid] = outcome[0]
+            cur_entries[pid] = outcome[2]
+            self._config_cache = None
+            activations[pid] += 1
+            step_index += 1
+            self.step_index = step_index
+            decided = outcome[1]
+            if decided is not None:
+                self._record_decision(pid, decided)
 
     def run(self, max_steps: int,
             max_consults: Optional[int] = None) -> RunResult:
@@ -453,9 +785,12 @@ class Simulation:
         if obs is not None:
             obs.run_start(self.protocol.name, self.protocol.n_processes,
                           self.inputs)
-        while (not self.finished and self.step_index < max_steps
-               and self.sched_consults < max_consults):
-            self.step()
+        if self._fast and obs is None and self.trace is None:
+            self._run_fast(max_steps, max_consults)
+        else:
+            while (not self.finished and self.step_index < max_steps
+                   and self.sched_consults < max_consults):
+                self.step()
         result = self.result()
         if obs is not None:
             obs.run_end(result)

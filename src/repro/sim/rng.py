@@ -17,7 +17,7 @@ A/B comparisons between schedulers would be confounded.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Iterable, Optional, Sequence, TypeVar
 
 _MASK64 = (1 << 64) - 1
 
@@ -64,12 +64,30 @@ class ReplayableRng:
     The counter lets experiments report how many coin flips a protocol
     consumed (one of the complexity measures the paper discusses), and
     :meth:`child` spawns independent named streams.
+
+    The underlying :class:`random.Random` is constructed lazily, on the
+    first draw: seeding the Mersenne twister costs microseconds, and
+    short runs build whole stream trees (per-processor coin streams,
+    scheduler stream, input stream) of which several never draw.  The
+    draw *sequence* is unaffected — the generator's state depends only
+    on the seed, never on when it is instantiated.
     """
 
     def __init__(self, seed: int) -> None:
         self._seed = seed & _MASK64
-        self._random = random.Random(self._seed)
+        self._random: random.Random = None  # bound by _bind on first draw
         self._draws = 0
+
+    def _bind(self) -> random.Random:
+        rnd = random.Random(self._seed)
+        self._random = rnd
+        return rnd
+
+    def prime(self) -> "ReplayableRng":
+        """Force generator construction now (e.g. outside a timed region)."""
+        if self._random is None:
+            self._bind()
+        return self
 
     @property
     def seed(self) -> int:
@@ -85,18 +103,41 @@ class ReplayableRng:
         """Return an independent stream derived from this stream's seed."""
         return ReplayableRng(derive_seed(self._seed, *path))
 
+    def children(self, prefix: str, count: int) -> list:
+        """``[self.child(prefix, i) for i in range(count)]``, batched.
+
+        Folds ``prefix`` into the seed once instead of once per child —
+        the kernel derives one coin stream per processor on every run,
+        so this shows up in per-run construction cost.
+        """
+        base = _mix_str(_splitmix64(self._seed), prefix)
+        return [ReplayableRng(_splitmix64(base ^ i)) for i in range(count)]
+
     def coin(self, p_heads: float = 0.5) -> bool:
         """Flip a (possibly biased) coin; ``True`` means heads."""
         self._draws += 1
-        return self._random.random() < p_heads
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        return rnd.random() < p_heads
 
-    def choice_index(self, weights: Sequence[float]) -> int:
-        """Sample an index proportionally to ``weights`` (need not sum to 1)."""
-        total = float(sum(weights))
+    def choice_index(self, weights: Sequence[float],
+                     total: Optional[float] = None) -> int:
+        """Sample an index proportionally to ``weights`` (need not sum to 1).
+
+        ``total`` may carry the precomputed ``float(sum(weights))`` (the
+        kernel caches it per transition); the sampled index is identical
+        either way.
+        """
+        if total is None:
+            total = float(sum(weights))
         if total <= 0.0:
             raise ValueError("weights must have positive sum")
         self._draws += 1
-        x = self._random.random() * total
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        x = rnd.random() * total
         acc = 0.0
         for i, w in enumerate(weights):
             acc += w
@@ -105,29 +146,59 @@ class ReplayableRng:
         return len(weights) - 1
 
     def choice(self, items: Sequence[T]) -> T:
-        """Pick one element uniformly at random."""
+        """Pick one element uniformly at random.
+
+        The rejection sampling below is :meth:`random.Random.choice`
+        inlined (identical ``getrandbits`` consumption, so identical
+        sequences) — this is the hottest draw in the library (one per
+        kernel step under a random scheduler) and skipping the
+        ``choice``/``_randbelow`` call pair is measurable there.
+        """
         self._draws += 1
-        return self._random.choice(items)
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        n = len(items)
+        if not n:
+            raise IndexError("Cannot choose from an empty sequence")
+        getrandbits = rnd.getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        return items[r]
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in the closed interval [lo, hi]."""
         self._draws += 1
-        return self._random.randint(lo, hi)
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        return rnd.randint(lo, hi)
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
         self._draws += 1
-        return self._random.random()
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        return rnd.random()
 
     def shuffle(self, items: list) -> None:
         """Shuffle ``items`` in place."""
         self._draws += 1
-        self._random.shuffle(items)
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        rnd.shuffle(items)
 
     def sample(self, items: Sequence[T], k: int) -> list:
         """Sample ``k`` distinct elements."""
         self._draws += 1
-        return self._random.sample(items, k)
+        rnd = self._random
+        if rnd is None:
+            rnd = self._bind()
+        return rnd.sample(items, k)
 
 
 def spawn_streams(root_seed: int, names: Iterable[object]) -> dict:

@@ -27,6 +27,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import RunResult, Simulation
 from repro.sim.process import Automaton
 from repro.sim.rng import ReplayableRng
+from repro.sim.transitions import TransitionCache
 
 
 ProtocolFactory = Callable[[], Automaton]
@@ -229,6 +230,7 @@ class ExperimentRunner:
         seed: int,
         strict: bool = False,
         sinks: Sequence[BaseSink] = (),
+        fast: bool = True,
     ) -> None:
         self._protocol_factory = protocol_factory
         self._scheduler_factory = scheduler_factory
@@ -236,6 +238,12 @@ class ExperimentRunner:
         self._seed = seed
         self._strict = strict
         self._sinks = tuple(sinks)
+        self._fast = fast
+        # One TransitionCache for the whole batch: the factory contract
+        # (fresh but equivalent protocol per run) makes sharing sound,
+        # and it amortizes branch/layout/initial-state resolution across
+        # runs.  See repro.sim.transitions and docs/PERFORMANCE.md.
+        self._cache: Optional[TransitionCache] = None
 
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
@@ -258,6 +266,12 @@ class ExperimentRunner:
         protocol = self._protocol_factory()
         scheduler = self._scheduler_factory(rng.child("sched"))
         inputs = self._inputs_factory(run_index, rng.child("inputs"))
+        cache = None
+        if self._fast:
+            cache = self._cache
+            if cache is None:
+                cache = self._cache = TransitionCache(
+                    protocol, strict=self._strict)
         sim = Simulation(
             protocol,
             inputs,
@@ -266,6 +280,8 @@ class ExperimentRunner:
             record_trace=record_trace,
             strict=self._strict,
             sinks=self._sinks if sinks is None else sinks,
+            fast=self._fast,
+            cache=cache,
         )
         return sim.run(max_steps)
 
@@ -320,6 +336,7 @@ class ExperimentRunner:
                 inputs_factory=self._inputs_factory,
                 seed=self._seed,
                 strict=self._strict,
+                fast=self._fast,
             )
             return run_parallel(
                 spec, n_runs, max_steps,

@@ -1,0 +1,224 @@
+"""Memoized automaton transitions: the kernel's fast-path lookup tables.
+
+The simulation kernel executes the same small set of automaton states
+over and over — a protocol's reachable ``(pid, state)`` pairs number in
+the dozens while a Monte-Carlo batch takes millions of steps.  The seed
+kernel nevertheless re-derived everything from scratch on every step:
+``protocol.branches()`` rebuilt the branch tuple (allocating fresh op
+objects), ``validate_branches`` re-checked the same distribution,
+``layout.check_read``/``check_write`` re-resolved the same register
+slots, and ``protocol.observe``/``output`` re-computed the same state
+transitions.
+
+:class:`TransitionCache` memoizes all of it, keyed by ``(pid, state)``:
+
+* the branch tuple and its probability-weight list (fed unchanged to
+  :meth:`~repro.sim.rng.ReplayableRng.choice_index`, so the coin-flip
+  draw sequence is bit-identical to the uncached path),
+* per-branch execution plans ``(op, is_read, slot, write_value)`` with
+  the access-control check already performed,
+* per-branch outcome tables mapping the operation result (the value
+  read; ``None`` for writes) to ``(new_state, decided)``.
+
+**Contract.**  Memoization is sound only for automata that follow the
+:class:`~repro.sim.process.Automaton` contract:
+
+* states (and register values) are hashable and compared by value,
+* ``branches(pid, state)`` is *transition-stable* — it returns the same
+  distribution every time it is called with the same arguments,
+* ``observe`` and ``output`` are pure functions of their arguments
+  (the docstrings already require this: all randomness lives in
+  ``branches``).
+
+Every protocol in :mod:`repro.core` and :mod:`repro.apps` satisfies
+this; a protocol that does not must run with ``Simulation(...,
+fast=False)`` (see docs/PERFORMANCE.md).
+
+A cache may be shared across many :class:`~repro.sim.kernel.Simulation`
+instances — the runner shares one per batch, which also amortizes the
+register-layout construction and the initial-state derivation across
+runs.  Sharing is sound whenever the simulations execute *equivalent*
+protocols (same type and parameters), which the
+:class:`~repro.sim.runner.ExperimentRunner` factory contract already
+guarantees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.sim.config import RegisterLayout
+from repro.sim.ops import ReadOp, WriteOp
+from repro.sim.process import Automaton
+
+
+class CachedTransition:
+    """The memoized transition table of one ``(pid, state)`` pair.
+
+    ``weights`` is ``None`` for deterministic (single-branch) states so
+    the kernel can skip the coin flip without touching the RNG
+    (``total`` is the weights' precomputed sum, fed back to
+    :meth:`~repro.sim.rng.ReplayableRng.choice_index` so the sum is not
+    recomputed per flip).  ``execs[i]`` is branch *i*'s execution plan
+    ``(op, is_read, slot, write_value)``; ``outcomes[i]`` maps the
+    operation result to the triple ``(new_state, decided, next_entry)``
+    that :meth:`Automaton.observe` / :meth:`Automaton.output` produce
+    for it — ``next_entry`` is the successor state's own
+    :class:`CachedTransition` (``None`` once decided), letting the
+    kernel's inner loop follow transitions pointer-to-pointer instead
+    of re-hashing the state every step.
+    """
+
+    __slots__ = ("branches", "weights", "total", "execs", "outcomes")
+
+    def __init__(self, branches, weights, total, execs) -> None:
+        self.branches = branches
+        self.weights = weights
+        self.total = total
+        self.execs = execs
+        self.outcomes: Tuple[Dict[Hashable, tuple], ...] = tuple(
+            {} for _ in branches
+        )
+
+
+class TransitionCache:
+    """Per-protocol memo of branch distributions, slots, and outcomes.
+
+    Parameters
+    ----------
+    protocol:
+        The automaton whose transitions are cached.  Entries built
+        lazily always consult *this* instance, so a cache shared across
+        simulations must only be used with equivalent protocols.
+    layout:
+        The register layout to resolve slots against; built from the
+        protocol when omitted.  Simulations constructed with a cache
+        reuse this layout instead of rebuilding their own.
+    strict:
+        Validate each state's branch distribution (once, at entry
+        build) — the cached analog of the kernel's per-step strict
+        mode.
+    max_entries:
+        Safety valve for automata with very large state spaces (e.g.
+        the unbounded protocol's ``num`` fields under adversarial
+        schedules): past this many memoized pairs, lookups still work
+        but new entries are computed without being stored.
+    """
+
+    __slots__ = ("protocol", "layout", "strict", "max_entries",
+                 "entries", "_initial_states", "_initial_registers",
+                 "_outputs")
+
+    def __init__(self, protocol: Automaton,
+                 layout: Optional[RegisterLayout] = None,
+                 strict: bool = True,
+                 max_entries: int = 1 << 20) -> None:
+        self.protocol = protocol
+        self.layout = layout if layout is not None \
+            else RegisterLayout.for_protocol(protocol)
+        self.strict = strict
+        self.max_entries = max_entries
+        #: ``(pid, state) -> CachedTransition`` — read directly by the
+        #: kernel's inner loop; populate through :meth:`entry`.
+        self.entries: Dict[tuple, CachedTransition] = {}
+        self._initial_states: Dict[tuple, tuple] = {}
+        self._initial_registers: Optional[tuple] = None
+        self._outputs: Dict[tuple, Optional[Hashable]] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, pid: int, state: Hashable) -> CachedTransition:
+        """Return (building if needed) the transition table of a state."""
+        key = (pid, state)
+        entry = self.entries.get(key)
+        if entry is None:
+            entry = self._build(pid, state)
+            if len(self.entries) < self.max_entries:
+                self.entries[key] = entry
+        return entry
+
+    def _build(self, pid: int, state: Hashable) -> CachedTransition:
+        protocol = self.protocol
+        layout = self.layout
+        branches = tuple(protocol.branches(pid, state))
+        if self.strict:
+            protocol.validate_branches(branches)
+        execs = []
+        for branch in branches:
+            op = branch.op
+            if isinstance(op, ReadOp):
+                execs.append((op, True, layout.check_read(pid, op.register),
+                              None))
+            elif isinstance(op, WriteOp):
+                execs.append((op, False, layout.check_write(pid, op.register),
+                              op.value))
+            else:
+                raise ProtocolError(f"unknown operation {op!r}")
+        if len(branches) > 1:
+            weights = [b.probability for b in branches]
+            total = float(sum(weights))
+        else:
+            weights = None
+            total = 0.0
+        return CachedTransition(branches, weights, total, tuple(execs))
+
+    def outcome(self, pid: int, state: Hashable,
+                entry: CachedTransition, branch_index: int,
+                result: Hashable) -> tuple:
+        """Memoized ``(new_state, decided, next_entry)`` for one branch."""
+        table = entry.outcomes[branch_index]
+        out = table.get(result)
+        if out is None:
+            op = entry.execs[branch_index][0]
+            new_state = self.protocol.observe(pid, state, op, result)
+            decided = self.protocol.output(pid, new_state)
+            next_entry = None if decided is not None \
+                else self.entry(pid, new_state)
+            out = (new_state, decided, next_entry)
+            table[result] = out
+        return out
+
+    def output(self, pid: int, state: Hashable) -> Optional[Hashable]:
+        """Memoized :meth:`Automaton.output` (used by the explorer)."""
+        key = (pid, state)
+        try:
+            return self._outputs[key]
+        except KeyError:
+            value = self.protocol.output(pid, state)
+            if len(self._outputs) < self.max_entries:
+                self._outputs[key] = value
+            return value
+
+    def initial_states(self, inputs: Sequence[Hashable]) -> tuple:
+        """Memoized ``(states, decisions)`` for ``inputs``.
+
+        ``states`` is the tuple of initial processor states; ``decisions``
+        maps the processors (if any) whose *initial* state already
+        carries an output — degenerate protocols — to that value, saving
+        the kernel a per-construction ``output`` scan.
+        """
+        key = tuple(inputs)
+        snapshot = self._initial_states.get(key)
+        if snapshot is None:
+            protocol = self.protocol
+            states = tuple(
+                protocol.initial_state(pid, value)
+                for pid, value in enumerate(key)
+            )
+            decisions = {}
+            for pid, state in enumerate(states):
+                value = protocol.output(pid, state)
+                if value is not None:
+                    decisions[pid] = value
+            snapshot = (states, decisions)
+            self._initial_states[key] = snapshot
+        return snapshot
+
+    def initial_registers(self) -> tuple:
+        """Memoized initial register contents of the layout."""
+        regs = self._initial_registers
+        if regs is None:
+            regs = self._initial_registers = self.layout.initial_values()
+        return regs

@@ -1,0 +1,415 @@
+"""Differential tests: the fast kernel path vs the reference path.
+
+The kernel's fast path (``Simulation(..., fast=True)``, the default)
+must be *observably identical* to the reference path (``fast=False``,
+the seed kernel verbatim): same decisions, same activation counts, same
+coin-flip counts (per processor — the RNG draw sequences themselves
+must match, not just totals), same scheduler-consultation count, same
+final configuration, same trace, same journal bytes, same metrics.
+
+These tests enforce that bit-for-bit across every core protocol, every
+scheduler family (benign, oblivious, crashing, adaptive adversaries),
+multiple seeds, and — via Hypothesis — randomly generated table-driven
+automata whose branch structure, register wiring and transition tables
+are arbitrary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.n_process import NProcessProtocol
+from repro.core.three_bounded import ThreeBoundedProtocol
+from repro.core.three_unbounded import ThreeUnboundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.checker.explorer import explore, successors
+from repro.errors import SimulationError
+from repro.obs import JsonlJournal, MetricsRegistry
+from repro.sched.adversary import DisagreementAdversary, SplitVoteAdversary
+from repro.sched.crash import CrashingScheduler, CrashPlan
+from repro.sched.simple import (
+    BlockScheduler,
+    FixedScheduler,
+    ObliviousScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.sim.config import Configuration, RegisterLayout
+from repro.sim.kernel import Simulation
+from repro.sim.ops import BOTTOM, ReadOp, WriteOp
+from repro.sim.process import Automaton, Branch, RegisterSpec
+from repro.sim.rng import ReplayableRng
+from repro.sim.transitions import TransitionCache
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+def run_one(protocol_factory, inputs, scheduler_factory, seed, *,
+            fast, max_steps=3_000, record_trace=False, cache=None,
+            sinks=None):
+    """One run with the full seed-derivation discipline of the runner."""
+    rng = ReplayableRng(seed)
+    scheduler = scheduler_factory(rng.child("sched"))
+    sim = Simulation(
+        protocol_factory(), inputs, scheduler, rng.child("kernel"),
+        record_trace=record_trace, fast=fast, cache=cache,
+        sinks=sinks,
+    )
+    result = sim.run(max_steps)
+    draws = tuple(r.draws for r in sim._proc_rngs)
+    return result, draws
+
+
+def assert_identical(res_fast, res_ref):
+    """Every observable field of two RunResults must match exactly."""
+    assert res_fast.protocol_name == res_ref.protocol_name
+    assert res_fast.inputs == res_ref.inputs
+    assert res_fast.decisions == res_ref.decisions
+    assert res_fast.activations == res_ref.activations
+    assert res_fast.decision_activation == res_ref.decision_activation
+    assert res_fast.coin_flips == res_ref.coin_flips
+    assert res_fast.total_steps == res_ref.total_steps
+    assert res_fast.crashed == res_ref.crashed
+    assert res_fast.completed == res_ref.completed
+    assert res_fast.sched_consults == res_ref.sched_consults
+    assert res_fast.final_configuration == res_ref.final_configuration
+
+
+def run_pair(protocol_factory, inputs, scheduler_factory, seed, **kw):
+    res_fast, draws_fast = run_one(
+        protocol_factory, inputs, scheduler_factory, seed, fast=True, **kw)
+    res_ref, draws_ref = run_one(
+        protocol_factory, inputs, scheduler_factory, seed, fast=False, **kw)
+    assert_identical(res_fast, res_ref)
+    # The per-processor RNG streams must have consumed the exact same
+    # number of draws — a stronger property than equal coin_flips
+    # counters (it pins the drawing *order*, because all streams are
+    # derived from one seed and interleave through the scheduler).
+    assert draws_fast == draws_ref
+    return res_fast
+
+
+PROTOCOLS = {
+    "two_process": (lambda: TwoProcessProtocol(values=("a", "b")),
+                    ("a", "b")),
+    "three_unbounded": (lambda: ThreeUnboundedProtocol(), ("a", "b", "a")),
+    "three_bounded": (lambda: ThreeBoundedProtocol(), ("a", "b", "b")),
+    "n_process_4": (lambda: NProcessProtocol(4), ("a", "b", "b", "a")),
+}
+
+SCHEDULERS = {
+    "random": lambda rng: RandomScheduler(rng),
+    "round_robin": lambda rng: RoundRobinScheduler(),
+    "fixed": lambda rng: FixedScheduler([0, 0, 1, 0, 1, 1, 0]),
+    "oblivious": lambda rng: ObliviousScheduler(rng),
+    "block": lambda rng: BlockScheduler(3),
+    "crashing": lambda rng: CrashingScheduler(
+        RandomScheduler(rng), CrashPlan(at_step={3: (1,)})),
+    "disagreement": lambda rng: DisagreementAdversary(),
+    "split_vote": lambda rng: SplitVoteAdversary(),
+}
+
+SEEDS = (1, 7, 42)
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+def test_fast_path_bit_identical(protocol_name, scheduler_name):
+    protocol_factory, inputs = PROTOCOLS[protocol_name]
+    scheduler_factory = SCHEDULERS[scheduler_name]
+    for seed in SEEDS:
+        run_pair(protocol_factory, inputs, scheduler_factory, seed)
+
+
+def test_traces_identical_when_recorded():
+    protocol_factory, inputs = PROTOCOLS["three_bounded"]
+    for seed in SEEDS:
+        res_fast, _ = run_one(protocol_factory, inputs,
+                              SCHEDULERS["random"], seed,
+                              fast=True, record_trace=True)
+        res_ref, _ = run_one(protocol_factory, inputs,
+                             SCHEDULERS["random"], seed,
+                             fast=False, record_trace=True)
+        assert_identical(res_fast, res_ref)
+        assert len(res_fast.trace) == len(res_ref.trace)
+        for a, b in zip(res_fast.trace, res_ref.trace):
+            assert (a.index, a.pid, a.op, a.result, a.decided) \
+                == (b.index, b.pid, b.op, b.result, b.decided)
+
+
+# ----------------------------------------------------------------------
+# Observability parity: journal bytes and metrics must not change
+# ----------------------------------------------------------------------
+
+def test_journal_bytes_identical(tmp_path):
+    protocol_factory, inputs = PROTOCOLS["two_process"]
+    paths = {}
+    for fast in (True, False):
+        path = tmp_path / f"journal_{fast}.jsonl"
+        journal = JsonlJournal(str(path))
+        run_one(protocol_factory, inputs, SCHEDULERS["random"], 11,
+                fast=fast, sinks=(journal,))
+        journal.close()
+        paths[fast] = path.read_bytes()
+    assert paths[True] == paths[False]
+
+
+def test_metrics_identical():
+    protocol_factory, inputs = PROTOCOLS["three_bounded"]
+    registries = {}
+    for fast in (True, False):
+        reg = MetricsRegistry()
+        run_one(protocol_factory, inputs, SCHEDULERS["random"], 23,
+                fast=fast, sinks=(reg,))
+        registries[fast] = reg.to_dict()
+    assert registries[True] == registries[False]
+
+
+# ----------------------------------------------------------------------
+# Engine selection and cache plumbing
+# ----------------------------------------------------------------------
+
+class TestEngineSelection:
+    def test_fast_is_the_default(self):
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         RoundRobinScheduler(), ReplayableRng(0))
+        assert sim._fast and sim._cache is not None
+
+    def test_reference_escape_hatch(self):
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         RoundRobinScheduler(), ReplayableRng(0),
+                         fast=False)
+        assert not sim._fast and sim._cache is None
+        result = sim.run(1_000)
+        assert result.completed and result.consistent
+
+    def test_cache_with_reference_path_rejected(self):
+        protocol = TwoProcessProtocol()
+        cache = TransitionCache(protocol)
+        with pytest.raises(SimulationError):
+            Simulation(protocol, ("a", "b"), RoundRobinScheduler(),
+                       ReplayableRng(0), fast=False, cache=cache)
+
+    def test_shared_cache_matches_private_caches(self):
+        protocol = TwoProcessProtocol()
+        cache = TransitionCache(protocol)
+        for seed in SEEDS:
+            shared, _ = run_one(lambda: protocol, ("a", "b"),
+                                SCHEDULERS["random"], seed,
+                                fast=True, cache=cache)
+            private, _ = run_one(lambda: protocol, ("a", "b"),
+                                 SCHEDULERS["random"], seed, fast=True)
+            assert_identical(shared, private)
+        assert len(cache) > 0
+
+    def test_shared_cache_reuses_layout(self):
+        protocol = TwoProcessProtocol()
+        cache = TransitionCache(protocol)
+        sims = [
+            Simulation(protocol, ("a", "b"), RoundRobinScheduler(),
+                       ReplayableRng(s), cache=cache)
+            for s in (0, 1)
+        ]
+        assert sims[0].layout is cache.layout
+        assert sims[1].layout is cache.layout
+
+
+class TestTransitionCache:
+    def test_entries_memoized(self):
+        protocol = TwoProcessProtocol()
+        cache = TransitionCache(protocol)
+        state = protocol.initial_state(0, "a")
+        e1 = cache.entry(0, state)
+        e2 = cache.entry(0, state)
+        assert e1 is e2
+        assert len(cache) == 1
+
+    def test_max_entries_overflow_still_computes(self):
+        protocol = TwoProcessProtocol()
+        cache = TransitionCache(protocol, max_entries=0)
+        state = protocol.initial_state(0, "a")
+        e1 = cache.entry(0, state)
+        e2 = cache.entry(0, state)
+        assert e1 is not e2  # not stored...
+        assert e1.execs == e2.execs  # ...but equivalent
+        assert len(cache) == 0
+
+    def test_outcome_chains_next_entry(self):
+        protocol = TwoProcessProtocol()
+        cache = TransitionCache(protocol)
+        state = protocol.initial_state(0, "a")
+        entry = cache.entry(0, state)
+        # The initial move is a deterministic write of the input value.
+        new_state, decided, next_entry = cache.outcome(0, state, entry, 0,
+                                                       None)
+        assert decided is None
+        assert next_entry is cache.entry(0, new_state)
+
+    def test_strict_cache_validates_distributions(self):
+        class BadProtocol(TwoProcessProtocol):
+            def branches(self, pid, state):
+                branches = super().branches(pid, state)
+                if len(branches) > 1:
+                    return (Branch(0.9, branches[0].op),
+                            Branch(0.9, branches[1].op))
+                return branches
+
+        from repro.errors import ProtocolError
+        protocol = BadProtocol()
+        cache = TransitionCache(protocol, strict=True)
+        sim = Simulation(protocol, ("a", "b"), RoundRobinScheduler(),
+                         ReplayableRng(3), cache=cache)
+        with pytest.raises(ProtocolError):
+            sim.run(1_000)
+
+
+# ----------------------------------------------------------------------
+# Explorer: the cached successor expansion must match the uncached one
+# ----------------------------------------------------------------------
+
+class TestExplorerCache:
+    @pytest.mark.parametrize("protocol_name",
+                             ["two_process", "three_bounded"])
+    def test_successors_with_and_without_cache(self, protocol_name):
+        protocol_factory, inputs = PROTOCOLS[protocol_name]
+        protocol = protocol_factory()
+        layout = RegisterLayout.for_protocol(protocol)
+        cache = TransitionCache(protocol, layout=layout, strict=False)
+        config = Configuration.initial(protocol, layout, inputs)
+        seen = {config}
+        frontier = [config]
+        for _ in range(4):  # four BFS levels is plenty of coverage
+            nxt = []
+            for c in frontier:
+                plain = list(successors(protocol, layout, c))
+                cached = list(successors(protocol, layout, c, cache))
+                assert plain == cached
+                for s in plain:
+                    if s.config not in seen:
+                        seen.add(s.config)
+                        nxt.append(s.config)
+            frontier = nxt
+
+    def test_explore_still_exhausts_two_process(self):
+        graph = explore(TwoProcessProtocol(), ("a", "b"))
+        assert graph.complete
+        assert graph.n_states > 1
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random table-driven automata
+# ----------------------------------------------------------------------
+
+class TableAutomaton(Automaton):
+    """An automaton whose entire behavior is a drawn lookup table.
+
+    States are small ints; every register is readable and writable by
+    every processor; ``observe`` maps ``(pid, state, op, result)``
+    through index arithmetic into a drawn transition list.  Everything
+    is pure and transition-stable, but the branch structure, weights,
+    register wiring, and state graph are arbitrary — exactly the space
+    the TransitionCache contract quantifies over.
+    """
+
+    name = "table"
+    _WRITE_VALUES = (0, 1, 2)
+    _RESULT_INDEX = {BOTTOM: 0, 0: 1, 1: 2, 2: 3, None: 4}
+
+    def __init__(self, spec):
+        self.n_processes = spec["n"]
+        self._n_states = spec["n_states"]
+        self._n_regs = spec["n_regs"]
+        self._decide = spec["decide_states"]
+        self._init = spec["init"]
+        self._trans = spec["trans"]
+        # Op space: every read, then every (register, value) write.
+        ops = [ReadOp(f"r{i}") for i in range(self._n_regs)]
+        ops += [WriteOp(f"r{i}", v) for i in range(self._n_regs)
+                for v in self._WRITE_VALUES]
+        self._op_code = {
+            (op.kind, op.register, getattr(op, "value", None)): code
+            for code, op in enumerate(ops)
+        }
+        self._branches = {}
+        for (pid, state), (op_idxs, weights) in spec["branch_table"].items():
+            total = sum(weights)
+            self._branches[(pid, state)] = tuple(
+                Branch(w / total, ops[i]) for i, w in zip(op_idxs, weights)
+            )
+
+    def registers(self):
+        everyone = tuple(range(self.n_processes))
+        return [RegisterSpec(name=f"r{i}", writers=everyone,
+                             readers=everyone, initial=BOTTOM)
+                for i in range(self._n_regs)]
+
+    def initial_state(self, pid, input_value):
+        return self._init[pid * 2 + input_value]
+
+    def branches(self, pid, state):
+        return self._branches[(pid, state)]
+
+    def observe(self, pid, state, op, result):
+        code = self._op_code[(op.kind, op.register,
+                              getattr(op, "value", None))]
+        ridx = self._RESULT_INDEX[result]
+        trans = self._trans
+        return trans[(pid * 7 + state * 13 + code * 3 + ridx * 5)
+                     % len(trans)]
+
+    def output(self, pid, state):
+        return state % 2 if state in self._decide else None
+
+
+@st.composite
+def automaton_specs(draw):
+    n = draw(st.integers(2, 3))
+    n_states = draw(st.integers(3, 6))
+    n_regs = draw(st.integers(1, 3))
+    n_ops = n_regs * (1 + len(TableAutomaton._WRITE_VALUES))
+    decide_states = draw(st.sets(st.integers(0, n_states - 1),
+                                 max_size=n_states - 1))
+    branch_table = {}
+    for pid in range(n):
+        for state in range(n_states):
+            if state in decide_states:
+                continue
+            k = draw(st.integers(1, 3))
+            op_idxs = draw(st.lists(st.integers(0, n_ops - 1),
+                                    min_size=k, max_size=k))
+            weights = draw(st.lists(st.integers(1, 5),
+                                    min_size=k, max_size=k))
+            branch_table[(pid, state)] = (tuple(op_idxs), tuple(weights))
+    non_decided = [s for s in range(n_states) if s not in decide_states]
+    init = draw(st.lists(st.sampled_from(non_decided + list(decide_states)),
+                         min_size=n * 2, max_size=n * 2))
+    trans = draw(st.lists(st.integers(0, n_states - 1),
+                          min_size=4, max_size=16))
+    return {
+        "n": n, "n_states": n_states, "n_regs": n_regs,
+        "decide_states": frozenset(decide_states),
+        "branch_table": branch_table, "init": init, "trans": trans,
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=automaton_specs(), seed=st.integers(0, 2 ** 32),
+       inputs_bits=st.lists(st.integers(0, 1), min_size=3, max_size=3))
+def test_random_automata_fast_equals_reference(spec, seed, inputs_bits):
+    protocol = TableAutomaton(spec)
+    inputs = tuple(inputs_bits[: protocol.n_processes])
+    results = {}
+    draws = {}
+    for fast in (True, False):
+        rng = ReplayableRng(seed)
+        sim = Simulation(protocol, inputs,
+                         RandomScheduler(rng.child("sched")),
+                         rng.child("kernel"), fast=fast)
+        results[fast] = sim.run(300)
+        draws[fast] = tuple(r.draws for r in sim._proc_rngs)
+    assert_identical(results[True], results[False])
+    assert draws[True] == draws[False]
+    assert results[True].coin_flips == results[False].coin_flips

@@ -201,3 +201,103 @@ class TestDeterminismOfRuns:
         result = run_protocol(NaiveProtocol(3), ("a", "b", "a"), seed=1)
         # Every completed naive run with mixed inputs flips at least once.
         assert sum(result.coin_flips.values()) >= 1
+
+
+class TestSchedulerActionNormalization:
+    """The scheduler contract: ``choose`` may return Activate, Crash,
+    or a bare processor id (int) as shorthand for Activate."""
+
+    def test_bare_int_activates(self):
+        class BareInt:
+            def choose(self, view):
+                return view.enabled[0]
+
+        sim = make_sim(scheduler=BareInt())
+        rec = sim.step()
+        assert rec.pid == 0
+        assert sim.activations[0] == 1
+
+    def test_bare_int_run_matches_activate_run(self):
+        class BareIntRR:
+            def __init__(self):
+                self._inner = RoundRobinScheduler()
+
+            def choose(self, view):
+                return self._inner.choose(view).pid
+
+        r_int = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=5,
+                             scheduler=BareIntRR())
+        r_act = run_protocol(TwoProcessProtocol(), ("a", "b"), seed=5,
+                             scheduler=RoundRobinScheduler())
+        assert r_int.decisions == r_act.decisions
+        assert r_int.total_steps == r_act.total_steps
+
+    @pytest.mark.parametrize("bogus", [True, False, "p0", 1.0, None, (0,)])
+    def test_non_action_rejected(self, bogus):
+        class Bogus:
+            def choose(self, view):
+                return bogus
+
+        sim = make_sim(scheduler=Bogus())
+        with pytest.raises(SimulationError, match="scheduler returned"):
+            sim.step()
+
+    @pytest.mark.parametrize("fast", [True, False])
+    def test_out_of_range_int_rejected(self, fast):
+        class OutOfRange:
+            def choose(self, view):
+                return 99
+
+        protocol = TwoProcessProtocol()
+        sim = Simulation(protocol, ("a", "b"), OutOfRange(),
+                         ReplayableRng(0), fast=fast)
+        with pytest.raises(SimulationError, match="invalid processor id"):
+            sim.run(10)
+
+
+class TestIncrementalViews:
+    """alive/enabled are maintained incrementally (crash/decide events),
+    not rebuilt per access; they must stay consistent with the run."""
+
+    def test_views_are_cheap_tuples(self):
+        sim = make_sim()
+        assert sim.alive == (0, 1)
+        assert sim.enabled == (0, 1)
+        assert sim.alive is sim.alive  # stable object between events
+
+    def test_crash_updates_both_views(self):
+        sim = make_sim(protocol=NaiveProtocol(3), inputs=("a", "b", "a"))
+        sim.crash(1)
+        assert sim.alive == (0, 2)
+        assert sim.enabled == (0, 2)
+
+    def test_decide_leaves_alive_but_not_enabled(self):
+        sim = make_sim(scheduler=FixedScheduler([0, 0]))
+        sim.step(), sim.step()  # P0 writes, reads bottom, decides
+        assert sim.alive == (0, 1)
+        assert sim.enabled == (1,)
+        assert not sim.finished
+
+    def test_finished_reflects_empty_enabled(self):
+        sim = make_sim(scheduler=FixedScheduler([0, 0]))
+        sim.step(), sim.step()
+        sim.crash(1)
+        assert sim.enabled == ()
+        assert sim.finished
+
+    def test_view_object_matches_kernel_views(self):
+        captured = {}
+
+        class Spy:
+            def __init__(self):
+                self._inner = RoundRobinScheduler()
+
+            def choose(self, view):
+                captured["enabled"] = view.enabled
+                captured["alive"] = view.alive
+                return self._inner.choose(view)
+
+        sim = make_sim(scheduler=Spy())
+        sim.run(100)
+        assert captured["alive"] == (0, 1)
+        assert captured["enabled"] in ((0,), (1,), (0, 1))
