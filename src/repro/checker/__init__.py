@@ -14,6 +14,9 @@ Three layers, all operating on the explicit automaton formalism:
   and constructively extend bivalence into an explicit infinite
   non-deciding schedule (Lemma 3 / Theorem 4) for any deterministic
   protocol.
+* :mod:`repro.checker.weakmem` — weak-memory anomaly search: exhibit
+  replayable consistency-violating or garbage-read traces under
+  ``regular``/``safe`` register semantics (the HHT-style separation).
 """
 
 from repro.checker.explorer import ConfigGraph, Successor, explore, successors
@@ -21,6 +24,12 @@ from repro.checker.properties import (
     SafetyReport,
     validate_run,
     verify_safety,
+)
+from repro.checker.weakmem import (
+    AnomalyWitness,
+    WitnessStep,
+    find_memory_anomaly,
+    replay_witness,
 )
 from repro.checker.valency import Valency, classify, decision_values_of
 from repro.checker.flp import (
@@ -37,6 +46,10 @@ __all__ = [
     "SafetyReport",
     "validate_run",
     "verify_safety",
+    "AnomalyWitness",
+    "WitnessStep",
+    "find_memory_anomaly",
+    "replay_witness",
     "Valency",
     "classify",
     "decision_values_of",

@@ -20,6 +20,7 @@ import dataclasses
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.config import Configuration, RegisterLayout
+from repro.sim.memory import MemoryModel, memory_spec
 from repro.sim.ops import ReadOp, WriteOp
 from repro.sim.process import Automaton
 from repro.sim.transitions import TransitionCache
@@ -31,13 +32,17 @@ class Successor:
 
     ``pid`` is the processor the scheduler activates, ``probability``
     the coin weight of the branch taken (1.0 for deterministic steps),
-    ``op`` the register operation performed.
+    ``op`` the register operation performed, ``result`` the value the
+    operation returned (the read value — adversary-chosen under weak
+    memory semantics, where one read may fan out into several edges —
+    or ``None`` for writes).
     """
 
     pid: int
     probability: float
     op: object
     config: Configuration
+    result: Hashable = None
 
 
 def enabled_pids(protocol: Automaton, config: Configuration,
@@ -55,11 +60,91 @@ def enabled_pids(protocol: Automaton, config: Configuration,
     )
 
 
+def _weak_successors(
+    protocol: Automaton,
+    layout: RegisterLayout,
+    config: Configuration,
+    memory: MemoryModel,
+    cache: Optional[TransitionCache],
+) -> Iterator[Successor]:
+    """Successors under a weak memory model: branch over legal reads.
+
+    ``memory`` is a scratch model instance (reused across calls); each
+    activation restores it to the node's ``(registers, mem)`` snapshot,
+    commits the activated processor's pending write, and then fans a
+    contended read out into one edge per legal return value — the
+    explorer's counterpart of the kernel adversary's ``resolve_read``/
+    ``Activate(read_value=...)`` vocabulary, so safety verdicts
+    quantify over *every* value choice the adversary could make.
+    """
+    for pid in enabled_pids(protocol, config, cache):
+        state = config.states[pid]
+        # Re-enter the node's memory state and commit pid's pending
+        # write — the same on_activate the kernel performs.
+        memory.restore(config.registers, config.mem)
+        memory.on_activate(pid)
+        base_regs = tuple(memory.values)
+        base_mem = memory.snapshot()
+        if cache is not None:
+            entry = cache.entry(pid, state)
+            branches = entry.branches
+        else:
+            entry = None
+            branches = protocol.branches(pid, state)
+        for branch_index, branch in enumerate(branches):
+            if entry is not None:
+                op, is_read, slot, value = entry.execs[branch_index]
+            else:
+                op = branch.op
+                is_read = isinstance(op, ReadOp)
+                if is_read:
+                    slot, value = layout.check_read(pid, op.register), None
+                else:
+                    slot, value = layout.check_write(pid, op.register), op.value
+            if is_read:
+                for choice in memory.read_choices(slot):
+                    if entry is not None:
+                        new_state = cache.outcome(
+                            pid, state, entry, branch_index, choice)[0]
+                    else:
+                        new_state = protocol.observe(pid, state, op, choice)
+                    yield Successor(
+                        pid=pid, probability=branch.probability, op=op,
+                        config=Configuration(
+                            states=config.states[:pid] + (new_state,)
+                            + config.states[pid + 1:],
+                            registers=base_regs, mem=base_mem,
+                        ),
+                        result=choice,
+                    )
+            else:
+                memory.write(pid, slot, value)
+                regs = tuple(memory.values)
+                mem = memory.snapshot()
+                # Undo the write so sibling branches see the base state.
+                memory.restore(base_regs, base_mem)
+                if entry is not None:
+                    new_state = cache.outcome(
+                        pid, state, entry, branch_index, None)[0]
+                else:
+                    new_state = protocol.observe(pid, state, op, None)
+                yield Successor(
+                    pid=pid, probability=branch.probability, op=op,
+                    config=Configuration(
+                        states=config.states[:pid] + (new_state,)
+                        + config.states[pid + 1:],
+                        registers=regs, mem=mem,
+                    ),
+                    result=None,
+                )
+
+
 def successors(
     protocol: Automaton,
     layout: RegisterLayout,
     config: Configuration,
     cache: Optional[TransitionCache] = None,
+    memory: Optional[MemoryModel] = None,
 ) -> Iterator[Successor]:
     """All one-step successors over scheduler choices × coin branches.
 
@@ -67,7 +152,16 @@ def successors(
     the kernel's fast path uses memoizes branch construction, slot
     resolution, and ``observe``/``output`` across the whole BFS — the
     same ``(pid, state)`` pair recurs in many configurations.
+
+    ``memory`` selects the register semantics: ``None`` (or an
+    :class:`~repro.sim.memory.AtomicMemory` scratch instance) keeps the
+    historical atomic behavior; a weak model additionally branches
+    contended reads over every legal return value (see
+    :func:`_weak_successors`).
     """
+    if memory is not None and not memory.atomic:
+        yield from _weak_successors(protocol, layout, config, memory, cache)
+        return
     if cache is not None:
         for pid in enabled_pids(protocol, config, cache):
             state = config.states[pid]
@@ -85,6 +179,7 @@ def successors(
                 yield Successor(
                     pid=pid, probability=branch.probability, op=op,
                     config=next_config.with_state(pid, new_state),
+                    result=result,
                 )
         return
     for pid in enabled_pids(protocol, config):
@@ -104,7 +199,7 @@ def successors(
             next_config = next_config.with_state(pid, new_state)
             yield Successor(
                 pid=pid, probability=branch.probability, op=op,
-                config=next_config,
+                config=next_config, result=result,
             )
 
 
@@ -145,6 +240,7 @@ def explore(
     max_depth: Optional[int] = None,
     max_states: int = 1_000_000,
     on_node: Optional[Callable[[Configuration, int], None]] = None,
+    memory=None,
 ) -> ConfigGraph:
     """Breadth-first exploration from the initial configuration.
 
@@ -162,6 +258,11 @@ def explore(
         Optional callback ``(config, depth)`` invoked on first visit —
         used by the safety checker to test invariants without a second
         pass.
+    memory:
+        Register semantics (``None``/name/:class:`~repro.sim.memory.
+        MemorySpec`).  Weak semantics add value-choice branching: the
+        graph then quantifies over adversary read-value choices as well
+        as scheduling and coins.
     """
     # One TransitionCache for the whole BFS: (pid, state) pairs recur
     # across configurations far more often than in a single run, so
@@ -170,6 +271,10 @@ def explore(
     # validating branch distributions.
     cache = TransitionCache(protocol, strict=False)
     layout = cache.layout
+    spec = memory_spec(memory)
+    # One scratch model for the whole BFS (restored per expansion);
+    # None under atomic keeps the historical fast successor path.
+    model = None if spec.atomic else spec.build(layout)
     root = Configuration.initial(protocol, layout, inputs)
     depth_of: Dict[Configuration, int] = {root: 0}
     edges: Dict[Configuration, Tuple[Successor, ...]] = {}
@@ -186,13 +291,13 @@ def explore(
         if max_depth is not None and depth >= max_depth:
             # Depth budget: do not expand, but only a config that
             # actually has successors makes the graph incomplete.
-            if tuple(successors(protocol, layout, config, cache)):
+            if tuple(successors(protocol, layout, config, cache, model)):
                 frontier.append(config)
                 complete = False
             else:
                 edges[config] = ()
             continue
-        succ = tuple(successors(protocol, layout, config, cache))
+        succ = tuple(successors(protocol, layout, config, cache, model))
         edges[config] = succ
         for s in succ:
             if s.config not in depth_of:
@@ -212,7 +317,7 @@ def explore(
     for config in queue:
         if config not in edges:
             frontier.append(config)
-            if tuple(successors(protocol, layout, config, cache)):
+            if tuple(successors(protocol, layout, config, cache, model)):
                 complete = False
 
     return ConfigGraph(

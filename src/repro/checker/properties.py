@@ -110,6 +110,7 @@ def verify_safety(
     inputs: Sequence[Hashable],
     max_depth: Optional[int] = None,
     max_states: int = 500_000,
+    memory=None,
 ) -> SafetyReport:
     """Exhaustively check consistency and nontriviality.
 
@@ -121,6 +122,12 @@ def verify_safety(
 
     Since safety must hold with probability one, a probability-weighted
     search adds nothing: plain reachability is the right notion.
+
+    ``memory`` selects the register semantics (``None`` = atomic).
+    Under ``"regular"``/``"safe"`` the explorer additionally branches
+    contended reads over every legal return value, so a verified
+    property holds against scheduling, coins *and* adversary read-value
+    choices (see :mod:`repro.checker.weakmem` for witness extraction).
     """
     input_set = set(inputs)
     state: Dict[str, object] = {
@@ -148,7 +155,7 @@ def verify_safety(
 
     graph = explore(
         protocol, inputs, max_depth=max_depth, max_states=max_states,
-        on_node=on_node,
+        on_node=on_node, memory=memory,
     )
     return SafetyReport(
         ok=state["violation"] is None,

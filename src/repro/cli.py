@@ -17,7 +17,9 @@ Examples::
 
     python -m repro solve --protocol three-bounded --inputs a,b,b --trace
     python -m repro solve --inputs a,b --metrics --journal run.jsonl
+    python -m repro solve --inputs a,b --memory regular --seed 3
     python -m repro verify --protocol two --inputs a,b
+    python -m repro verify --inputs a,b --memory safe
     python -m repro impossibility
     python -m repro game --cost processor:0
     python -m repro tower --seeds 20
@@ -55,11 +57,13 @@ def _build_protocol(name: str, n_inputs: int):
     raise SystemExit(f"unknown protocol {name!r}")
 
 
-def _build_scheduler(name: str, seed: int):
+def _build_scheduler(name: str, seed: int, memory: str = "atomic",
+                     read_policy: Optional[str] = None):
     from repro.sched import (
         LaggardFreezer,
         ObliviousScheduler,
         RandomScheduler,
+        ReadValueAdversary,
         RoundRobinScheduler,
         SplitVoteAdversary,
     )
@@ -75,7 +79,20 @@ def _build_scheduler(name: str, seed: int):
     }
     if name not in table:
         raise SystemExit(f"unknown scheduler {name!r}")
-    return table[name]()
+    scheduler = table[name]()
+    if memory != "atomic":
+        # Weak registers put read-value choice in adversary hands; the
+        # CLI default is the hostile policy (that is the interesting
+        # experiment), overridable with --read-policy.
+        policy = read_policy or "adversarial"
+        scheduler = ReadValueAdversary(
+            scheduler, policy=policy,
+            rng=ReplayableRng(seed).child("cli-read-values"),
+        )
+    elif read_policy is not None:
+        raise SystemExit("--read-policy needs --memory regular|safe "
+                         "(atomic reads have exactly one legal value)")
+    return scheduler
 
 
 def _solve_sinks(args: argparse.Namespace):
@@ -83,7 +100,8 @@ def _solve_sinks(args: argparse.Namespace):
     from repro.obs import JsonlJournal, MetricsRegistry
 
     metrics = MetricsRegistry() if getattr(args, "metrics", False) else None
-    journal = (JsonlJournal(args.journal)
+    journal = (JsonlJournal(args.journal,
+                            memory=getattr(args, "memory", "atomic"))
                if getattr(args, "journal", None) else None)
     sinks = tuple(s for s in (metrics, journal) if s is not None)
     return metrics, journal, sinks
@@ -99,16 +117,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"{args.protocol} needs {protocol.n_processes} inputs, "
             f"got {len(inputs)}"
         )
-    scheduler = _build_scheduler(args.scheduler, args.seed)
+    scheduler = _build_scheduler(args.scheduler, args.seed,
+                                 memory=args.memory,
+                                 read_policy=args.read_policy)
     metrics, journal, sinks = _solve_sinks(args)
     outcome = solve(protocol, inputs, scheduler=scheduler, seed=args.seed,
                     max_steps=args.max_steps, record_trace=args.trace,
-                    sinks=sinks)
+                    sinks=sinks, memory=args.memory)
     if journal is not None:
         journal.close()
     print(f"protocol:   {protocol.name}")
     print(f"inputs:     {inputs}")
     print(f"scheduler:  {args.scheduler} (seed {args.seed})")
+    if args.memory != "atomic":
+        policy = args.read_policy or "adversarial"
+        print(f"memory:     {args.memory} registers "
+              f"(read policy: {policy})")
     print(f"agreed on:  {outcome.value!r}")
     print(f"decisions:  {outcome.decisions}")
     print(f"steps:      {outcome.steps} total, "
@@ -139,11 +163,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     inputs = args.inputs.split(",")
     protocol = _build_protocol(args.protocol, len(inputs))
     report = verify_safety(protocol, inputs, max_depth=args.depth,
-                           max_states=args.max_states)
+                           max_states=args.max_states, memory=args.memory)
     print(f"protocol: {protocol.name}, inputs {inputs}")
+    if args.memory != "atomic":
+        print(f"memory:   {args.memory} registers (adversary also "
+              f"chooses contended read values)")
     print(report.guarantee())
     if not report.ok:
         print(f"witness configuration: {report.witness}")
+    if args.memory != "atomic":
+        # Weak semantics: additionally exhibit (and replay) the
+        # strongest anomaly the semantics admits, if any — a
+        # consistency violation, or a garbage read no regular register
+        # could produce (safe-only behavior).
+        from repro.checker import find_memory_anomaly, replay_witness
+
+        witness = find_memory_anomaly(
+            protocol, inputs, memory=args.memory,
+            max_depth=args.depth, max_states=args.max_states,
+        )
+        if witness is None:
+            print(f"no {args.memory}-memory anomaly within the "
+                  f"explored space")
+        else:
+            print()
+            print(witness.describe())
+            final = replay_witness(protocol, inputs, args.memory,
+                                   witness.steps)
+            print(f"witness replays: final decisions "
+                  f"{final.decisions(protocol)}")
     return 0 if report.ok else 1
 
 
@@ -259,6 +307,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         inputs_factory=ConstantInputs(inputs),
         seed=args.seed,
         sinks=sinks,
+        memory=args.memory,
     )
     stats = runner.run_many(
         args.runs,
@@ -326,6 +375,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach a metrics registry and print it")
     p.add_argument("--journal", metavar="PATH", default=None,
                    help="stream a JSONL event journal to PATH")
+    p.add_argument("--memory", default="atomic",
+                   choices=["atomic", "regular", "safe"],
+                   help="register semantics the run executes under "
+                        "(see docs/MODEL.md)")
+    p.add_argument("--read-policy", default=None,
+                   choices=["commit", "adversarial", "random"],
+                   help="how the adversary resolves weak-memory reads "
+                        "(default adversarial; needs --memory "
+                        "regular|safe)")
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("verify", help="exhaustive safety verification")
@@ -336,6 +394,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=None,
                    help="depth budget (omit for full exploration)")
     p.add_argument("--max-states", type=int, default=500_000)
+    p.add_argument("--memory", default="atomic",
+                   choices=["atomic", "regular", "safe"],
+                   help="register semantics to verify under; weak "
+                        "semantics also search for an anomaly witness")
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("impossibility",
@@ -367,7 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated input values, one per processor")
     p.add_argument("--scheduler", default="random",
                    choices=["random", "round-robin", "oblivious",
-                            "split-vote", "laggard-freezer"])
+                            "split-vote", "laggard-freezer",
+                            "read-adversary"])
     p.add_argument("--runs", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-steps", type=int, default=4000)
@@ -380,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream a JSONL event journal to PATH")
     p.add_argument("--from-journal", metavar="PATH", default=None,
                    help="skip running; replay PATH into the metrics report")
+    p.add_argument("--memory", default="atomic",
+                   choices=["atomic", "regular", "safe"],
+                   help="register semantics every run executes under")
     p.add_argument("--timing", action="store_true",
                    help="attach a PhaseTimer and print phase wall-times")
     p.add_argument("--json", metavar="PATH", default=None,

@@ -63,6 +63,7 @@ def solve(
     record_trace: bool = False,
     sinks: Sequence = (),
     fast: bool = True,
+    memory=None,
 ) -> ConsensusOutcome:
     """Run one consensus instance and return its outcome.
 
@@ -89,6 +90,10 @@ def solve(
     fast:
         Kernel engine selection; ``fast=False`` is the reference-path
         escape hatch (see docs/PERFORMANCE.md).
+    memory:
+        Register semantics: ``None`` (atomic, the default), a name in
+        ``("atomic", "regular", "safe")``, or a
+        :class:`~repro.sim.memory.MemorySpec` — see docs/MODEL.md.
 
     Example
     -------
@@ -110,5 +115,6 @@ def solve(
         record_trace=record_trace,
         sinks=sinks,
         fast=fast,
+        memory=memory,
     )
     return ConsensusOutcome.from_run(sim.run(max_steps))

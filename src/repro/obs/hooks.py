@@ -20,13 +20,20 @@ Event vocabulary (one method per event, mirroring the kernel):
 ``on_run_start``    once per :meth:`Simulation.run` entry
 ``on_sched``        one scheduler consultation (cumulative count)
 ``on_coin_flip``    a probabilistic branch was sampled for ``pid``
-``on_read``         an atomic register read, with the value returned
-``on_write``        an atomic register write, with the value installed
+``on_read_choices`` a weak-memory read had its value resolved from a
+                    legal set (>1 choice, or a pre-committed value);
+                    emitted just before the matching ``on_read``
+``on_read``         a register read, with the value returned
+``on_write``        a register write, with the value installed
 ``on_decision``     ``pid`` entered a decision state at ``activation``
 ``on_crash``        the scheduler fail-stopped ``pid`` before ``index``
 ``on_step``         end of one serialized kernel step
 ``on_run_end``      once per :meth:`Simulation.run` exit
 ``on_phase_time``   wall-clock span of one phase (timing sinks only)
+
+``on_read_choices`` never fires under the default atomic semantics
+(legal sets are singletons and no resolution happens), so pre-PR-4
+sinks observe exactly the event streams they always did.
 
 Timing is pull-based: the kernel only reaches for ``perf_counter`` when
 some attached sink sets ``wants_timing = True`` (see
@@ -61,8 +68,17 @@ class BaseSink:
     def on_coin_flip(self, pid: int, n_branches: int) -> None:
         """Processor ``pid`` resolved a coin among ``n_branches`` branches."""
 
+    def on_read_choices(self, pid: int, register: str, n_choices: int,
+                        chosen: Hashable) -> None:
+        """A weak-memory read of ``register`` was resolved by the adversary.
+
+        ``n_choices`` is the size of the legal value set and ``chosen``
+        the value picked (also delivered by the following
+        :meth:`on_read`).  Never emitted under atomic semantics.
+        """
+
     def on_read(self, pid: int, register: str, value: Hashable) -> None:
-        """Processor ``pid`` atomically read ``value`` from ``register``."""
+        """Processor ``pid`` read ``value`` from ``register``."""
 
     def on_write(self, pid: int, register: str, value: Hashable) -> None:
         """Processor ``pid`` atomically wrote ``value`` to ``register``."""
@@ -116,6 +132,11 @@ class ObsHub:
     def coin_flip(self, pid: int, n_branches: int) -> None:
         for s in self.sinks:
             s.on_coin_flip(pid, n_branches)
+
+    def read_choices(self, pid: int, register: str, n_choices: int,
+                     chosen: Hashable) -> None:
+        for s in self.sinks:
+            s.on_read_choices(pid, register, n_choices, chosen)
 
     def read(self, pid: int, register: str, value: Hashable) -> None:
         for s in self.sinks:

@@ -8,20 +8,28 @@ human-greppable artifact and a replayable one: feeding it back through
 :func:`replay_journal` reproduces, event for event, the exact metrics a
 live :class:`~repro.obs.metrics.MetricsRegistry` would have collected.
 
-Schema (version 1) — one object per line:
+Schema (version 2) — one object per line:
 
-``{"t": "journal", "v": 1}``
-    header, always the first line.
+``{"t": "journal", "v": 2, "mem": "atomic"|"regular"|"safe"}``
+    header, always the first line; ``mem`` tags the register semantics
+    every run in the file executed under (see :mod:`repro.sim.memory`).
 ``{"t": "run_start", "protocol": str, "n": int, "inputs": [...]}``
 ``{"t": "step", "i": int, "pid": int, "op": "read"|"write",
-  "reg": str, "value": ..., "result": ..., "cf": true?,
+  "reg": str, "value": ..., "result": ..., "cf": true?, "alts": int?,
   "dec": ..., "act": int?}``
     one serialized kernel step.  ``value`` only on writes, ``result``
     only on reads; ``cf`` present when the step resolved a coin flip;
+    ``alts`` present when a weak-memory read was resolved from a legal
+    value set (its size; the chosen value is ``result``);
     ``dec``/``act`` present when the step decided (value + activation).
 ``{"t": "crash", "i": int, "pid": int}``
 ``{"t": "run_end", "completed": bool, "steps": int, "consults": int,
   "crashed": [...]}``
+
+Version 1 (PR 1 through PR 3) is identical minus the header's ``mem``
+key and the ``alts`` step key; since atomic semantics never emit
+``alts``, a v1 journal is exactly a v2 atomic journal with an older
+header, and the readers here accept both versions.
 
 Values are JSON-encoded structurally where possible: dataclass register
 records (e.g. ``PrefNum``) become dicts, so a ``[pref, num]`` record
@@ -40,7 +48,12 @@ from repro.obs.hooks import BaseSink
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.ops import ReadOp, WriteOp
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Journal versions the readers below understand (v1 = pre-memory-layer
+#: files: no "mem" header key, no "alts" step key, atomic by
+#: construction).
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _jsonable(value: Any) -> Any:
@@ -72,6 +85,10 @@ class JsonlJournal(BaseSink):
     flush_every:
         Flush the underlying handle every N events (default 1000), so
         a crash of the *host* process loses a bounded suffix.
+    memory:
+        Register-semantics tag written into the header (default
+        ``"atomic"``); pass the run's :attr:`MemorySpec.name` so
+        readers know which semantics produced the event stream.
 
     The journal never buffers events in Python; memory use is O(1) in
     run length.  One journal may span a whole batch of runs —
@@ -79,7 +96,8 @@ class JsonlJournal(BaseSink):
     """
 
     def __init__(self, target: Union[str, IO[str]],
-                 flush_every: int = 1000) -> None:
+                 flush_every: int = 1000,
+                 memory: str = "atomic") -> None:
         if isinstance(target, str):
             self._fh: IO[str] = open(target, "w")
             self._owns_fh = True
@@ -89,7 +107,8 @@ class JsonlJournal(BaseSink):
         self._since_flush = 0
         self._flush_every = max(1, flush_every)
         self.events_written = 0
-        self._write({"t": "journal", "v": SCHEMA_VERSION})
+        self.memory = memory
+        self._write({"t": "journal", "v": SCHEMA_VERSION, "mem": memory})
         # Step events are assembled across several hooks (coin flip,
         # op, decision all belong to one step); this scratch dict
         # carries the in-flight step.
@@ -131,6 +150,12 @@ class JsonlJournal(BaseSink):
 
     def on_coin_flip(self, pid: int, n_branches: int) -> None:
         self._pending["cf"] = True
+
+    def on_read_choices(self, pid: int, register: str, n_choices: int,
+                        chosen: Hashable) -> None:
+        # The chosen value lands in the step's "result"; only the
+        # fan-out size needs recording here.
+        self._pending["alts"] = n_choices
 
     def on_decision(self, pid: int, value: Hashable, activation: int) -> None:
         self._pending["dec"] = _jsonable(value)
@@ -186,12 +211,15 @@ def concatenate_journals(shard_paths: Sequence[str], out_path: str) -> int:
     Returns the total line count of ``out_path`` (header included),
     matching the ``events_written`` a live :class:`JsonlJournal` would
     report for the same stream.
+
+    Every shard must carry the *same* header (version and memory-
+    semantics tag): shards of one batch all ran under one
+    :class:`~repro.sim.memory.MemorySpec`, and mixing semantics in one
+    file would make the header lie about its events.
     """
     events = 0
+    expected_header: Optional[Dict[str, Any]] = None
     with open(out_path, "w") as out:
-        out.write(json.dumps({"t": "journal", "v": SCHEMA_VERSION},
-                             separators=(",", ":"), sort_keys=True) + "\n")
-        events += 1
         for path in shard_paths:
             with open(path) as fh:
                 first = fh.readline()
@@ -200,15 +228,32 @@ def concatenate_journals(shard_paths: Sequence[str], out_path: str) -> int:
                 header = json.loads(first)
                 if header.get("t") != "journal":
                     raise ValueError(f"{path}: missing journal header line")
-                if header.get("v") != SCHEMA_VERSION:
+                if header.get("v") not in SUPPORTED_VERSIONS:
                     raise ValueError(
                         f"{path}: unsupported journal version "
                         f"{header.get('v')!r}"
+                    )
+                if expected_header is None:
+                    expected_header = header
+                    out.write(json.dumps(header, separators=(",", ":"),
+                                         sort_keys=True) + "\n")
+                    events += 1
+                elif header != expected_header:
+                    raise ValueError(
+                        f"{path}: shard header {header!r} differs from "
+                        f"{expected_header!r}; shards of one batch must "
+                        f"share version and memory semantics"
                     )
                 for line in fh:
                     if line.strip():
                         out.write(line)
                         events += 1
+        if expected_header is None:
+            # No shards: an empty batch still yields a valid journal.
+            out.write(json.dumps(
+                {"t": "journal", "v": SCHEMA_VERSION, "mem": "atomic"},
+                separators=(",", ":"), sort_keys=True) + "\n")
+            events += 1
     return events
 
 
@@ -224,7 +269,7 @@ def iter_events(path: str) -> Iterator[Dict[str, Any]]:
         header = json.loads(first)
         if header.get("t") != "journal":
             raise ValueError(f"{path}: missing journal header line")
-        if header.get("v") != SCHEMA_VERSION:
+        if header.get("v") not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"{path}: unsupported journal version {header.get('v')!r}"
             )
@@ -267,6 +312,9 @@ def replay_journal(path: str,
             if event.get("cf"):
                 reg.on_coin_flip(pid, 2)
             if event["op"] == "read":
+                if "alts" in event:
+                    reg.on_read_choices(pid, event["reg"], event["alts"],
+                                        event.get("result"))
                 reg.on_read(pid, event["reg"], event.get("result"))
             else:
                 reg.on_write(pid, event["reg"], event.get("value"))

@@ -191,7 +191,9 @@ class MetricsRegistry(BaseSink):
         ``runs``, ``runs_completed``, ``steps``, ``reads``, ``writes``,
         ``coin_flips``, ``crashes``, ``sched_consults``,
         ``decisions``, ``register_contention`` (writes that overwrote a
-        value no processor ever read).
+        value no processor ever read), ``read_choice_points`` (weak-
+        memory reads the adversary resolved from >1 legal value — see
+        docs/MODEL.md; never incremented under atomic semantics).
     gauges
         ``max_num_depth`` — deepest ``num`` field ever written (the
         quantity Theorem 9 bounds by a (3/4)^k envelope).
@@ -199,7 +201,9 @@ class MetricsRegistry(BaseSink):
         ``steps_to_decide`` (per processor per run — Theorem 7's
         variable), ``coin_flips_per_decision``, ``num_depth`` (one
         sample per write carrying a ``num`` field), ``run_steps`` and
-        ``run_sched_consults`` (one sample per run).
+        ``run_sched_consults`` (one sample per run),
+        ``read_choice_fanout`` (legal-set size, one sample per resolved
+        weak-memory read).
     """
 
     def __init__(self) -> None:
@@ -247,6 +251,11 @@ class MetricsRegistry(BaseSink):
     def on_coin_flip(self, pid: int, n_branches: int) -> None:
         self.counter("coin_flips").inc()
         self._run_flips[pid] = self._run_flips.get(pid, 0) + 1
+
+    def on_read_choices(self, pid: int, register: str, n_choices: int,
+                        chosen: Hashable) -> None:
+        self.counter("read_choice_points").inc()
+        self.histogram("read_choice_fanout").observe(n_choices)
 
     def on_read(self, pid: int, register: str, value: Hashable) -> None:
         self.counter("reads").inc()

@@ -44,6 +44,7 @@ from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.obs.journal import JsonlJournal, concatenate_journals
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.memory import ATOMIC, MemorySpec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -62,6 +63,8 @@ class BatchSpec:
     #: Kernel engine selection; workers inherit the fast path (and its
     #: per-shard shared TransitionCache) by default.
     fast: bool = True
+    #: Register semantics of every run (picklable; see repro.sim.memory).
+    memory: MemorySpec = ATOMIC
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,7 +126,7 @@ def _execute_shard(task: ShardTask) -> ShardResult:
     from repro.sim.runner import ExperimentRunner, RunStats
 
     registry = MetricsRegistry() if task.with_metrics else None
-    journal = (JsonlJournal(task.journal_path)
+    journal = (JsonlJournal(task.journal_path, memory=task.spec.memory.name)
                if task.journal_path is not None else None)
     sinks = tuple(s for s in (registry, journal) if s is not None)
     runner = ExperimentRunner(
@@ -134,6 +137,7 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         strict=task.spec.strict,
         sinks=sinks,
         fast=task.spec.fast,
+        memory=task.spec.memory,
     )
     runs = [RunStats.from_result(i, runner.run_one(i, task.max_steps))
             for i in range(task.start, task.stop)]

@@ -28,7 +28,7 @@ PROTOCOL_NAMES = ("two", "three-unbounded", "three-bounded", "n", "naive")
 
 #: Scheduler names understood by :class:`SchedulerSpec` (CLI vocabulary).
 SCHEDULER_NAMES = ("random", "round-robin", "oblivious", "split-vote",
-                   "laggard-freezer")
+                   "laggard-freezer", "read-adversary")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -82,6 +82,7 @@ class SchedulerSpec:
             LaggardFreezer,
             ObliviousScheduler,
             RandomScheduler,
+            ReadValueAdversary,
             RoundRobinScheduler,
             SplitVoteAdversary,
         )
@@ -96,6 +97,11 @@ class SchedulerSpec:
             return SplitVoteAdversary()
         if self.name == "laggard-freezer":
             return LaggardFreezer()
+        if self.name == "read-adversary":
+            # Random activation order plus hostile weak-memory read
+            # resolution (a no-op wrapper under atomic semantics).
+            return ReadValueAdversary(RandomScheduler(rng),
+                                      policy="adversarial")
         raise ValueError(f"unknown scheduler {self.name!r} "
                          f"(expected one of {SCHEDULER_NAMES})")
 

@@ -27,6 +27,7 @@ from repro.sched.adversary import (
     DisagreementAdversary,
     LaggardFreezer,
     NaiveKillerAdversary,
+    ReadValueAdversary,
     SplitVoteAdversary,
 )
 from repro.sched.crash import CrashingScheduler, CrashPlan
@@ -49,6 +50,7 @@ __all__ = [
     "DisagreementAdversary",
     "LaggardFreezer",
     "NaiveKillerAdversary",
+    "ReadValueAdversary",
     "SplitVoteAdversary",
     "CrashingScheduler",
     "CrashPlan",

@@ -189,6 +189,70 @@ class LaggardFreezer(Scheduler):
         return Activate(leader)
 
 
+class ReadValueAdversary(Scheduler):
+    """Wrap any scheduler with a weak-memory read-value policy.
+
+    Under ``regular``/``safe`` register semantics a contended read has
+    several legal return values and the adversary picks one (see
+    :mod:`repro.sim.memory`).  This wrapper delegates *who moves next*
+    to an inner scheduler and adds the value-choosing half of the
+    extended vocabulary:
+
+    * ``"commit"`` — always return the committed value ``choices[0]``
+      (the overlapping write never appears early; equivalent to not
+      overriding ``resolve_read`` at all),
+    * ``"adversarial"`` — prefer a value that *differs* from the
+      reading processor's own preference, scanning the non-committed
+      choices last-writer-first; this steers weak protocols toward
+      manufactured disagreement, the HHT-style stress case,
+    * ``"random"`` — draw uniformly from the legal set using the
+      supplied :class:`~repro.sim.rng.ReplayableRng` stream (replayable
+      like every other source of randomness).
+
+    The wrapper never sees future coin flips: ``resolve_read`` runs
+    after the scheduler committed to activating ``pid`` and before the
+    kernel samples any further randomness for other processors, with
+    only the current configuration in view.
+    """
+
+    POLICIES = ("commit", "adversarial", "random")
+
+    def __init__(self, inner: Scheduler, policy: str = "adversarial",
+                 rng=None) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown read policy {policy!r} "
+                f"(expected one of {self.POLICIES})"
+            )
+        if policy == "random" and rng is None:
+            raise ValueError("policy 'random' needs an rng stream")
+        self._inner = inner
+        self._policy = policy
+        self._rng = rng
+
+    @property
+    def name(self) -> str:
+        return f"ReadValueAdversary({self._inner.name}, {self._policy})"
+
+    def choose(self, view: SchedulerView):
+        return self._inner.choose(view)
+
+    def resolve_read(self, view: SchedulerView, pid: int, register: str,
+                     choices) -> Hashable:
+        if self._policy == "commit":
+            return choices[0]
+        if self._policy == "random":
+            return self._rng.choice(choices)
+        # "adversarial": the reader should see anything *but* what it
+        # already believes — pending/garbage values first, newest last
+        # write preferred.
+        own = _pref_of(view.state_of(pid))
+        for candidate in reversed(choices):
+            if _pref_of(candidate) != own:
+                return candidate
+        return choices[0]
+
+
 class SplitVoteAdversary(Scheduler):
     """Protocol-agnostic balance-keeping adversary.
 

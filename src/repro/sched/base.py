@@ -15,7 +15,7 @@ processor would let broken protocols appear live.
 from __future__ import annotations
 
 import abc
-from typing import Union
+from typing import Hashable, Tuple, Union
 
 from repro.sim.kernel import Activate, Crash, SchedulerView
 
@@ -26,6 +26,24 @@ class Scheduler(abc.ABC):
     @abc.abstractmethod
     def choose(self, view: SchedulerView) -> Union[Activate, Crash, int]:
         """Pick the next scheduler action for the given configuration."""
+
+    def resolve_read(self, view: SchedulerView, pid: int, register: str,
+                     choices: Tuple[Hashable, ...]) -> Hashable:
+        """Pick a contended weak-memory read's return value.
+
+        Consulted by the kernel under ``regular``/``safe`` register
+        semantics whenever a read has more than one legal return value
+        (``choices``, committed value first — see
+        :meth:`repro.sim.memory.MemoryModel.read_choices`).  The default
+        returns ``choices[0]``, i.e. "the overlapping write has not
+        taken effect yet", which preserves atomic-looking behavior for
+        schedulers that don't care.  Adversarial schedulers override
+        this (or pre-commit via ``Activate(pid, read_value=...)``,
+        which takes precedence).  Returning a value outside ``choices``
+        is a scheduler bug surfaced as a
+        :class:`~repro.errors.SimulationError`.
+        """
+        return choices[0]
 
     @property
     def name(self) -> str:

@@ -18,6 +18,18 @@ from repro.sim.ops import Op, ReadOp, WriteOp, BOTTOM
 from repro.sim.process import Automaton, Branch, RegisterSpec
 from repro.sim.config import Configuration
 from repro.sim.kernel import Simulation, RunResult
+from repro.sim.memory import (
+    ATOMIC,
+    REGULAR,
+    SAFE,
+    MEMORY_NAMES,
+    AtomicMemory,
+    MemoryModel,
+    MemorySpec,
+    RegularMemory,
+    SafeMemory,
+    memory_spec,
+)
 from repro.sim.rng import ReplayableRng, derive_seed
 from repro.sim.transitions import TransitionCache
 from repro.sim.trace import StepRecord, Trace
@@ -39,6 +51,16 @@ __all__ = [
     "Configuration",
     "Simulation",
     "RunResult",
+    "ATOMIC",
+    "REGULAR",
+    "SAFE",
+    "MEMORY_NAMES",
+    "AtomicMemory",
+    "MemoryModel",
+    "MemorySpec",
+    "RegularMemory",
+    "SafeMemory",
+    "memory_spec",
     "ReplayableRng",
     "derive_seed",
     "TransitionCache",

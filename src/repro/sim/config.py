@@ -10,7 +10,7 @@ work directly on them.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Hashable, Sequence, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.errors import AccessViolation
 from repro.sim.process import Automaton, RegisterSpec
@@ -83,13 +83,22 @@ class Configuration:
     """An immutable global snapshot: processor states + register values.
 
     ``states[i]`` is processor i's automaton state; ``registers[j]`` is
-    the content of the register in slot j of the associated
+    the *committed* content of the register in slot j of the associated
     :class:`RegisterLayout` (the layout itself is not stored here to
     keep configurations small and trivially hashable).
+
+    ``mem`` carries the memory model's extra state beyond the committed
+    values — the pending-write snapshot of a weak
+    :class:`~repro.sim.memory.MemoryModel` (see its ``snapshot``
+    method).  It is ``None`` under atomic semantics *and* in quiescent
+    weak-memory configurations, so configurations produced before the
+    memory-semantics layer existed compare equal to today's atomic
+    ones.
     """
 
     states: Tuple[Hashable, ...]
     registers: Tuple[Hashable, ...]
+    mem: Optional[Hashable] = None
 
     @classmethod
     def initial(cls, protocol: Automaton, layout: RegisterLayout,
@@ -107,12 +116,14 @@ class Configuration:
     def with_state(self, pid: int, state: Hashable) -> "Configuration":
         """Copy of this configuration with processor ``pid``'s state replaced."""
         states = self.states[:pid] + (state,) + self.states[pid + 1:]
-        return Configuration(states=states, registers=self.registers)
+        return Configuration(states=states, registers=self.registers,
+                             mem=self.mem)
 
     def with_register(self, idx: int, value: Hashable) -> "Configuration":
         """Copy of this configuration with register slot ``idx`` replaced."""
         regs = self.registers[:idx] + (value,) + self.registers[idx + 1:]
-        return Configuration(states=self.states, registers=regs)
+        return Configuration(states=self.states, registers=regs,
+                             mem=self.mem)
 
     def decisions(self, protocol: Automaton) -> Dict[int, Hashable]:
         """Map of pid -> decided value for processors in decision states."""

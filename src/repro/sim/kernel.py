@@ -34,6 +34,20 @@ enforce that.  The fast path additionally requires the
 :class:`~repro.sim.transitions.TransitionCache` contract (hashable,
 transition-stable states); protocols that violate it must pass
 ``fast=False``.
+
+Register semantics are pluggable since PR 4 (see
+:mod:`repro.sim.memory` and docs/MODEL.md): both engines route register
+access through a :class:`~repro.sim.memory.MemoryModel`.  Under the
+default :class:`~repro.sim.memory.AtomicMemory` every legal-read set is
+a singleton and the fast path keeps its inlined buffer access (the
+model's ``values`` list *is* the buffer), so atomic runs stay
+bit-identical to the pre-memory-layer kernel.  Under ``regular`` /
+``safe`` semantics a contended read has several legal return values and
+the *scheduler* — the paper's adversary — picks one, either via its
+``resolve_read`` hook or by pre-committing
+``Activate(pid, read_value=...)``.  Either way the choice is made from
+the current configuration only; coin flips are still sampled after the
+scheduler commits, preserving the adaptive-adversary knowledge model.
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 from repro.errors import ProtocolError, SimulationError
 from repro.obs.hooks import BaseSink, make_hub
 from repro.sim.config import Configuration, RegisterLayout
+from repro.sim.memory import MemoryModel, MemorySpec, memory_spec
 from repro.sim.ops import ReadOp, WriteOp
 from repro.sim.process import Automaton
 from repro.sim.rng import ReplayableRng
@@ -54,9 +69,21 @@ from repro.sim.transitions import TransitionCache
 
 @dataclasses.dataclass(frozen=True)
 class Activate:
-    """Scheduler action: let processor ``pid`` take its next step."""
+    """Scheduler action: let processor ``pid`` take its next step.
+
+    ``read_value`` optionally pre-commits the value a *contended weak-
+    memory read* must return this step — the adversary's extended
+    vocabulary under ``regular``/``safe`` semantics.  The value must be
+    in the step's legal set (:meth:`SchedulerView.read_choices`);
+    anything else — including pre-committing on a write step, or a
+    value other than the register content under atomic semantics — is a
+    scheduler bug surfaced as :class:`~repro.errors.SimulationError`.
+    ``None`` (the default) leaves resolution to the scheduler's
+    ``resolve_read`` hook.
+    """
 
     pid: int
+    read_value: Optional[Hashable] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,10 +161,36 @@ class SchedulerView:
         return self._sim._state_of(pid)
 
     def register(self, name: str) -> Hashable:
+        """The *committed* content of register ``name``."""
         return self._sim._register_value(self._sim.layout.index_of(name))
 
     def decided(self, pid: int) -> Optional[Hashable]:
         return self._sim.decisions.get(pid)
+
+    @property
+    def memory(self) -> MemoryModel:
+        """The run's memory model (inspect, never mutate)."""
+        return self._sim._memory
+
+    @property
+    def memory_semantics(self) -> str:
+        """Semantics tag: ``"atomic"``, ``"regular"``, or ``"safe"``."""
+        return self._sim._memory.semantics
+
+    @property
+    def read_resolutions(self) -> int:
+        """Contended reads resolved so far (adversary had >1 choice)."""
+        return self._sim.read_resolutions
+
+    def read_choices(self, name: str) -> Tuple[Hashable, ...]:
+        """Legal return values of a read of ``name`` right now.
+
+        Committed value first (the ordering contract of
+        :meth:`repro.sim.memory.MemoryModel.read_choices`).  Under
+        atomic semantics this is always a singleton.
+        """
+        sim = self._sim
+        return sim._memory.read_choices(sim.layout.index_of(name))
 
 
 @dataclasses.dataclass
@@ -156,6 +209,11 @@ class RunResult:
     trace: Optional[Trace]
     final_configuration: Configuration
     sched_consults: int = 0
+    #: Semantics tag of the run's memory model (docs/MODEL.md).
+    memory: str = "atomic"
+    #: Contended weak-memory reads the adversary resolved (always 0
+    #: under atomic semantics, where legal sets are singletons).
+    read_resolutions: int = 0
 
     @property
     def all_decided(self) -> bool:
@@ -231,13 +289,19 @@ class Simulation:
         protocols amortizes branch resolution, layout construction and
         initial-state derivation over a whole batch; omitted, the
         simulation builds a private cache.
+    memory:
+        Register semantics: ``None`` (atomic, the default), a name in
+        ``("atomic", "regular", "safe")``, or a
+        :class:`~repro.sim.memory.MemorySpec`.  See
+        :mod:`repro.sim.memory` and docs/MODEL.md.
     """
 
     __slots__ = (
         "protocol", "inputs", "scheduler", "layout", "step_index",
         "activations", "coin_flips", "decisions", "decision_activation",
-        "crashed", "sched_consults", "trace",
+        "crashed", "sched_consults", "read_resolutions", "trace",
         "_fast", "_cache", "_states", "_registers", "_config_cache",
+        "_memory", "_mem_atomic", "_read_resolver", "_forced_read",
         "_obs", "_strict", "_rng", "_proc_rngs", "_view",
         "_alive", "_enabled",
     )
@@ -253,6 +317,7 @@ class Simulation:
         sinks: Optional[Sequence[BaseSink]] = None,
         fast: bool = True,
         cache: Optional[TransitionCache] = None,
+        memory: Union[None, str, MemorySpec] = None,
     ) -> None:
         if protocol.n_processes < 1:
             raise SimulationError("protocol declares no processors")
@@ -269,6 +334,7 @@ class Simulation:
             )
         self.scheduler = scheduler
         self._fast = fast
+        spec = memory_spec(memory)
         initial_decisions: Optional[Dict[int, Hashable]] = None
         if fast:
             if cache is None:
@@ -278,19 +344,29 @@ class Simulation:
             # Mutable run-local buffers: the fast path's source of truth.
             states, initial_decisions = cache.initial_states(self.inputs)
             self._states: Optional[List[Hashable]] = list(states)
-            self._registers: Optional[List[Hashable]] = \
-                list(cache.initial_registers())
+            # The memory model owns register storage; its committed-
+            # values list doubles as the fast path's register buffer,
+            # so the inlined atomic access below *is* model access.
+            self._memory: MemoryModel = spec.build(self.layout)
+            self._registers: Optional[List[Hashable]] = self._memory.values
             self._config_cache: Optional[Configuration] = None
         else:
             self._cache = None
             self.layout = RegisterLayout.for_protocol(protocol)
             # Reference path: the immutable configuration *is* the
-            # state, rebuilt per step exactly as the seed kernel did.
+            # state, rebuilt per step exactly as the seed kernel did —
+            # with register access routed through the memory model
+            # (identity resolution under the default AtomicMemory).
             self._states = None
             self._registers = None
+            self._memory = spec.build(self.layout)
             self._config_cache = Configuration.initial(
                 protocol, self.layout, self.inputs
             )
+        self._mem_atomic = self._memory.atomic
+        self._read_resolver = getattr(scheduler, "resolve_read", None)
+        self._forced_read: Optional[Hashable] = None
+        self.read_resolutions = 0
         self.step_index = 0
         self.activations: Dict[int, int] = dict.fromkeys(range(n), 0)
         self.coin_flips: Dict[int, int] = dict.fromkeys(range(n), 0)
@@ -341,7 +417,9 @@ class Simulation:
         config = self._config_cache
         if config is None:
             config = Configuration(
-                states=tuple(self._states), registers=tuple(self._registers)
+                states=tuple(self._states),
+                registers=tuple(self._registers),
+                mem=None if self._mem_atomic else self._memory.snapshot(),
             )
             self._config_cache = config
         return config
@@ -434,6 +512,8 @@ class Simulation:
                 )
             self.sched_consults += 1
             action = self.scheduler.choose(self._view)
+        if isinstance(action, Activate) and action.read_value is not None:
+            self._forced_read = action.read_value
         return self.step_processor(self._normalize_action(action))
 
     def _observed_step(self) -> StepRecord:
@@ -461,6 +541,8 @@ class Simulation:
             action = self.scheduler.choose(self._view)
         if timing:
             obs.phase_time("sched", perf_counter() - t0)
+        if isinstance(action, Activate) and action.read_value is not None:
+            self._forced_read = action.read_value
         return self.step_processor(self._normalize_action(action))
 
     def step_processor(self, pid: int) -> StepRecord:
@@ -470,13 +552,70 @@ class Simulation:
             raise SimulationError(f"scheduled crashed processor {pid}")
         if pid in self.decisions:
             raise SimulationError(f"scheduled decided processor {pid}")
+        forced = self._forced_read
+        if forced is not None:
+            self._forced_read = None
         if self._obs is not None:
-            return self._observed_step_processor(pid)
+            return self._observed_step_processor(pid, forced)
         if self._fast:
-            return self._step_fast(pid)
-        return self._step_reference(pid)
+            return self._step_fast(pid, forced)
+        return self._step_reference(pid, forced)
 
-    def _step_fast(self, pid: int) -> StepRecord:
+    def _resolve_read(self, pid: int, register: str,
+                      choices: Tuple[Hashable, ...],
+                      forced: Optional[Hashable]) -> Hashable:
+        """Pick a contended weak-memory read's return value.
+
+        Precedence: an ``Activate(pid, read_value=...)`` pre-commitment
+        wins; otherwise the scheduler's ``resolve_read`` hook is
+        consulted; with neither, the committed value ``choices[0]`` is
+        returned (the write "has not happened yet").  Any chosen value
+        outside the legal set is a scheduler bug.  Called only when the
+        legal set has >1 element or a value was pre-committed, so the
+        atomic hot path never pays for it.
+        """
+        if len(choices) > 1:
+            self.read_resolutions += 1
+        if forced is not None:
+            value = forced
+        else:
+            resolver = self._read_resolver
+            if resolver is None:
+                value = choices[0]
+            else:
+                value = resolver(self._view, pid, register, choices)
+        if value not in choices:
+            raise SimulationError(
+                f"scheduler chose read value {value!r} for register "
+                f"{register!r}, outside the legal set {choices!r}"
+            )
+        if self._obs is not None:
+            self._obs.read_choices(pid, register, len(choices), value)
+        return value
+
+    @staticmethod
+    def _check_forced_atomic(forced: Optional[Hashable], is_read: bool,
+                             result: Hashable) -> None:
+        """Validate an ``Activate.read_value`` under atomic semantics.
+
+        Cold path: the only legal pre-commitment is the register's
+        current content on a read step.
+        """
+        if forced is None:
+            return
+        if not is_read:
+            raise SimulationError(
+                f"scheduler pre-committed read value {forced!r} but the "
+                f"step performed a write"
+            )
+        if forced != result:
+            raise SimulationError(
+                f"scheduler pre-committed read value {forced!r}, but "
+                f"atomic memory returns {result!r}"
+            )
+
+    def _step_fast(self, pid: int,
+                   forced: Optional[Hashable] = None) -> StepRecord:
         """One fast-path step, returning its :class:`StepRecord`.
 
         Mirrors the body of :meth:`_run_fast`'s inner loop; the two
@@ -486,6 +625,9 @@ class Simulation:
         states = self._states
         state = states[pid]
         cache = self._cache
+        atomic = self._mem_atomic
+        if not atomic:
+            self._memory.on_activate(pid)
         entry = cache.entries.get((pid, state))
         if entry is None:
             entry = cache.entry(pid, state)
@@ -497,10 +639,27 @@ class Simulation:
                 weights, entry.total)
             self.coin_flips[pid] += 1
         op, is_read, slot, value = entry.execs[branch_index]
-        if is_read:
-            result: Hashable = self._registers[slot]
+        if atomic:
+            if is_read:
+                result: Hashable = self._registers[slot]
+            else:
+                self._registers[slot] = value
+                result = None
+            if forced is not None:
+                self._check_forced_atomic(forced, is_read, result)
+        elif is_read:
+            choices = self._memory.read_choices(slot)
+            if len(choices) == 1 and forced is None:
+                result = choices[0]
+            else:
+                result = self._resolve_read(pid, op.register, choices, forced)
         else:
-            self._registers[slot] = value
+            if forced is not None:
+                raise SimulationError(
+                    f"scheduler pre-committed read value {forced!r} but "
+                    f"the step performed a write"
+                )
+            self._memory.write(pid, slot, value)
             result = None
         outcome = entry.outcomes[branch_index].get(result)
         if outcome is None:
@@ -520,16 +679,22 @@ class Simulation:
             self.trace.append(record)
         return record
 
-    def _step_reference(self, pid: int) -> StepRecord:
-        """One reference-path step: the seed kernel's body, verbatim.
+    def _step_reference(self, pid: int,
+                        forced: Optional[Hashable] = None) -> StepRecord:
+        """One reference-path step: the seed kernel's body.
 
-        Immutable configuration rebuilt via ``with_register`` /
-        ``with_state``, fresh ``branches()`` + validation + access
-        check every step.  This is the baseline the differential tests
-        and the kernel benchmark compare the fast path against.
+        Immutable configuration rebuilt every step, fresh
+        ``branches()`` + validation + access check every step, register
+        access routed through the memory model (under the default
+        :class:`~repro.sim.memory.AtomicMemory` the model resolution is
+        the identity, so this is the seed kernel's behavior verbatim).
+        This is the baseline the differential tests and the kernel
+        benchmark compare the fast path against.
         """
         config = self._config_cache
         state = config.states[pid]
+        memory = self._memory
+        memory.on_activate(pid)
         branches = self.protocol.branches(pid, state)
         if self._strict:
             self.protocol.validate_branches(branches)
@@ -543,16 +708,30 @@ class Simulation:
 
         if isinstance(op, ReadOp):
             slot = self.layout.check_read(pid, op.register)
-            result: Hashable = config.registers[slot]
+            choices = memory.read_choices(slot)
+            if len(choices) == 1 and forced is None:
+                result: Hashable = choices[0]
+            else:
+                result = self._resolve_read(pid, op.register, choices, forced)
         elif isinstance(op, WriteOp):
             slot = self.layout.check_write(pid, op.register)
-            config = config.with_register(slot, op.value)
+            if forced is not None:
+                raise SimulationError(
+                    f"scheduler pre-committed read value {forced!r} but "
+                    f"the step performed a write"
+                )
+            memory.write(pid, slot, op.value)
             result = None
         else:
             raise ProtocolError(f"unknown operation {op!r}")
 
         new_state = self.protocol.observe(pid, state, op, result)
-        self._config_cache = config.with_state(pid, new_state)
+        self._config_cache = Configuration(
+            states=config.states[:pid] + (new_state,)
+            + config.states[pid + 1:],
+            registers=tuple(memory.values),
+            mem=None if self._mem_atomic else memory.snapshot(),
+        )
         self.activations[pid] += 1
 
         decided = self.protocol.output(pid, new_state)
@@ -567,22 +746,30 @@ class Simulation:
             self.trace.append(record)
         return record
 
-    def _observed_step_processor(self, pid: int) -> StepRecord:
+    def _observed_step_processor(self, pid: int,
+                                 forced: Optional[Hashable] = None
+                                 ) -> StepRecord:
         """Instrumented twin of :meth:`step_processor`'s execution body.
 
         Emission order is part of the journal schema contract:
         coin-flip, then read/write, then decision, then step —
         :func:`repro.obs.journal.replay_journal` re-dispatches in the
-        same order.  Keep the state updates in lockstep with the fast
-        and reference bodies above (this one serves both engines: the
-        ``self._fast`` forks select cached vs. per-step resolution, and
-        buffer vs. immutable-configuration state, with identical
-        emissions either way).
+        same order (a contended weak read's ``read_choices`` emission
+        lands between coin-flip and read, from :meth:`_resolve_read`).
+        Keep the state updates in lockstep with the fast and reference
+        bodies above (this one serves both engines: the ``self._fast``
+        forks select cached vs. per-step resolution, and buffer vs.
+        immutable-configuration state, with identical emissions either
+        way).
         """
         obs = self._obs
         timing = obs.timing
         t_step = perf_counter() if timing else 0.0
         fast = self._fast
+        atomic = self._mem_atomic
+        memory = self._memory
+        if not atomic:
+            memory.on_activate(pid)
 
         if fast:
             state = self._states[pid]
@@ -612,25 +799,34 @@ class Simulation:
 
         if fast:
             _, is_read, slot, value = entry.execs[branch_index]
-            if is_read:
-                result: Hashable = self._registers[slot]
-                obs.read(pid, op.register, result)
-            else:
-                self._registers[slot] = value
-                result = None
-                obs.write(pid, op.register, value)
         elif isinstance(op, ReadOp):
+            is_read, value = True, None
             slot = self.layout.check_read(pid, op.register)
-            result = self._config_cache.registers[slot]
-            obs.read(pid, op.register, result)
         elif isinstance(op, WriteOp):
+            is_read, value = False, op.value
             slot = self.layout.check_write(pid, op.register)
-            self._config_cache = self._config_cache.with_register(
-                slot, op.value)
-            result = None
-            obs.write(pid, op.register, op.value)
         else:
             raise ProtocolError(f"unknown operation {op!r}")
+
+        if is_read:
+            if atomic:
+                result: Hashable = memory.values[slot]
+                if forced is not None:
+                    self._check_forced_atomic(forced, True, result)
+            else:
+                choices = memory.read_choices(slot)
+                if len(choices) == 1 and forced is None:
+                    result = choices[0]
+                else:
+                    result = self._resolve_read(
+                        pid, op.register, choices, forced)
+            obs.read(pid, op.register, result)
+        else:
+            if forced is not None:
+                self._check_forced_atomic(forced, False, None)
+            memory.write(pid, slot, value)
+            result = None
+            obs.write(pid, op.register, value)
 
         t1 = perf_counter() if timing else 0.0
         if fast:
@@ -640,7 +836,13 @@ class Simulation:
             self._config_cache = None
         else:
             new_state = self.protocol.observe(pid, state, op, result)
-            self._config_cache = self._config_cache.with_state(pid, new_state)
+            config = self._config_cache
+            self._config_cache = Configuration(
+                states=config.states[:pid] + (new_state,)
+                + config.states[pid + 1:],
+                registers=tuple(memory.values),
+                mem=None if atomic else memory.snapshot(),
+            )
             decided = self.protocol.output(pid, new_state)
         self.activations[pid] += 1
 
@@ -681,6 +883,8 @@ class Simulation:
         resolve_outcome = cache.outcome
         states = self._states
         registers = self._registers
+        atomic = self._mem_atomic
+        memory = self._memory
         proc_rngs = self._proc_rngs
         choose = self.scheduler.choose
         view = self._view
@@ -704,11 +908,13 @@ class Simulation:
             consults += 1
             self.sched_consults = consults
             action = choose(view)
+            forced = None
             cls = action.__class__
             if cls is int:
                 pid = action
             elif cls is Activate:
                 pid = action.pid
+                forced = action.read_value
             else:
                 # Cold branch: crash injections and exotic action types.
                 while isinstance(action, Crash):
@@ -722,6 +928,8 @@ class Simulation:
                     action = choose(view)
                 crashed = self.crashed
                 pid = self._normalize_action(action)
+                if isinstance(action, Activate):
+                    forced = action.read_value
             if pid.__class__ is not int or not 0 <= pid < n:
                 self._check_pid(pid)
             if pid in crashed:
@@ -729,6 +937,8 @@ class Simulation:
             if pid in decisions:
                 raise SimulationError(f"scheduled decided processor {pid}")
 
+            if not atomic:
+                memory.on_activate(pid)
             entry = cur_entries[pid]
             if entry is None:
                 state = states[pid]
@@ -742,11 +952,26 @@ class Simulation:
                 branch_index = proc_rngs[pid].choice_index(
                     weights, entry.total)
                 coin_flips[pid] += 1
-            _, is_read, slot, value = entry.execs[branch_index]
-            if is_read:
-                result = registers[slot]
+            op, is_read, slot, value = entry.execs[branch_index]
+            if atomic:
+                if is_read:
+                    result = registers[slot]
+                else:
+                    registers[slot] = value
+                    result = None
+                if forced is not None:
+                    self._check_forced_atomic(forced, is_read, result)
+            elif is_read:
+                choices = memory.read_choices(slot)
+                if len(choices) == 1 and forced is None:
+                    result = choices[0]
+                else:
+                    result = self._resolve_read(
+                        pid, op.register, choices, forced)
             else:
-                registers[slot] = value
+                if forced is not None:
+                    self._check_forced_atomic(forced, False, None)
+                memory.write(pid, slot, value)
                 result = None
             outcome = entry.outcomes[branch_index].get(result)
             if outcome is None:
@@ -811,6 +1036,8 @@ class Simulation:
             trace=self.trace,
             final_configuration=self.configuration,
             sched_consults=self.sched_consults,
+            memory=self._memory.semantics,
+            read_resolutions=self.read_resolutions,
         )
 
     # ------------------------------------------------------------------

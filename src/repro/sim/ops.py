@@ -29,6 +29,14 @@ class _Bottom:
     A singleton: all registers and output registers start at ⊥.  It
     compares equal only to itself and hashes consistently, so it can live
     inside hashable configurations.
+
+    Identity must survive process boundaries: weak-memory legal-value
+    sets carry ⊥ through pickled ``BatchSpec`` shards and spawn workers,
+    and protocol code compares with ``is``.  ``__reduce__`` therefore
+    pickles *by reference* to the module-level ``BOTTOM`` name (the
+    string form of ``__reduce__``), so unpickling — and ``copy`` /
+    ``deepcopy`` — resolve to the importing process's singleton instead
+    of constructing a fresh object.
     """
 
     _instance = None
@@ -41,8 +49,8 @@ class _Bottom:
     def __repr__(self) -> str:
         return "⊥"
 
-    def __reduce__(self):
-        return (_Bottom, ())
+    def __reduce__(self) -> str:
+        return "BOTTOM"
 
 
 #: The module-level ⊥ singleton used throughout the library.

@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 from repro.obs.hooks import BaseSink
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import RunResult, Simulation
+from repro.sim.memory import MemorySpec, memory_spec
 from repro.sim.process import Automaton
 from repro.sim.rng import ReplayableRng
 from repro.sim.transitions import TransitionCache
@@ -231,6 +232,7 @@ class ExperimentRunner:
         strict: bool = False,
         sinks: Sequence[BaseSink] = (),
         fast: bool = True,
+        memory=None,
     ) -> None:
         self._protocol_factory = protocol_factory
         self._scheduler_factory = scheduler_factory
@@ -239,6 +241,9 @@ class ExperimentRunner:
         self._strict = strict
         self._sinks = tuple(sinks)
         self._fast = fast
+        # Register semantics for every run of the batch (a picklable
+        # MemorySpec, so parallel shards inherit it unchanged).
+        self._memory: MemorySpec = memory_spec(memory)
         # One TransitionCache for the whole batch: the factory contract
         # (fresh but equivalent protocol per run) makes sharing sound,
         # and it amortizes branch/layout/initial-state resolution across
@@ -282,6 +287,7 @@ class ExperimentRunner:
             sinks=self._sinks if sinks is None else sinks,
             fast=self._fast,
             cache=cache,
+            memory=self._memory,
         )
         return sim.run(max_steps)
 
@@ -337,6 +343,7 @@ class ExperimentRunner:
                 seed=self._seed,
                 strict=self._strict,
                 fast=self._fast,
+                memory=self._memory,
             )
             return run_parallel(
                 spec, n_runs, max_steps,
@@ -350,7 +357,7 @@ class ExperimentRunner:
         if journal_path is not None:
             from repro.obs.journal import JsonlJournal
 
-            journal = JsonlJournal(journal_path)
+            journal = JsonlJournal(journal_path, memory=self._memory.name)
             sinks = self._sinks + (journal,)
         try:
             runs = [

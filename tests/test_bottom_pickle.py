@@ -1,0 +1,64 @@
+"""Regression tests: the ⊥ singleton survives serialization boundaries.
+
+Weak-memory legal-value sets carry ⊥ (the initial register value) and
+flow through ``parallel/`` spawn workers, journal payloads, and model
+snapshots.  Code all over the tree compares against ``BOTTOM`` with
+``is``, so ⊥ must round-trip pickling as the *same object*, not a
+lookalike — that is what ``_Bottom.__reduce__`` guarantees.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.sim.ops import BOTTOM, _Bottom
+
+
+def _worker_checks_identity(payload):
+    """Spawn-worker body: is the shipped object *the* local singleton?
+
+    Module-level so the spawn pickler can ship it by reference.
+    """
+    from repro.sim.ops import BOTTOM as worker_bottom
+
+    obj, nested = payload
+    return obj is worker_bottom and nested[1][0] is worker_bottom
+
+
+class TestBottomIdentity:
+    @pytest.mark.parametrize("protocol",
+                             range(pickle.HIGHEST_PROTOCOL + 1))
+    def test_pickle_round_trip_is_identity(self, protocol):
+        clone = pickle.loads(pickle.dumps(BOTTOM, protocol=protocol))
+        assert clone is BOTTOM
+
+    def test_pickle_inside_containers(self):
+        choices = (BOTTOM, "a", ("nested", BOTTOM))
+        clone = pickle.loads(pickle.dumps(choices))
+        assert clone[0] is BOTTOM
+        assert clone[2][1] is BOTTOM
+
+    def test_copy_and_deepcopy_are_identity(self):
+        assert copy.copy(BOTTOM) is BOTTOM
+        assert copy.deepcopy(BOTTOM) is BOTTOM
+        assert copy.deepcopy({"k": [BOTTOM]})["k"][0] is BOTTOM
+
+    def test_reduce_names_the_module_global(self):
+        # Pickle-by-reference: __reduce__ returns the global's name, so
+        # every unpickle resolves to repro.sim.ops.BOTTOM itself.
+        assert BOTTOM.__reduce__() == "BOTTOM"
+
+    def test_constructor_is_also_the_singleton(self):
+        # Belt and braces: __new__ enforces the singleton too, so even
+        # code that bypasses the global cannot mint a second ⊥.
+        assert _Bottom() is BOTTOM
+
+    def test_spawn_worker_receives_the_same_instance(self):
+        ctx = multiprocessing.get_context("spawn")
+        payload = (BOTTOM, ("x", (BOTTOM, "y")))
+        with ctx.Pool(1) as pool:
+            assert pool.apply(_worker_checks_identity, (payload,))

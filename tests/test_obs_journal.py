@@ -45,7 +45,8 @@ class TestSchema:
             tmp_path, lambda: TwoProcessProtocol(), ("a", "b"), n_runs=3)
         with open(path) as fh:
             lines = [json.loads(l) for l in fh if l.strip()]
-        assert lines[0] == {"t": "journal", "v": SCHEMA_VERSION}
+        assert lines[0] == {"t": "journal", "v": SCHEMA_VERSION,
+                            "mem": "atomic"}
         kinds = {l["t"] for l in lines[1:]}
         assert kinds == {"run_start", "step", "run_end"}
         assert sum(1 for l in lines if l["t"] == "run_start") == 3

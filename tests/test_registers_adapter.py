@@ -80,6 +80,18 @@ class TestTwoProcessOnConstructions:
 
 
 class TestThreeProcessOnConstructions:
+    def test_srsw_layout_on_regular_construction(self):
+        """Echo of the Hadzilacos–Hu–Toueg weakening for the
+        three-processor protocol: regular cells (no new/old-inversion
+        protection) still keep every run consistent."""
+        for seed in range(30):
+            result = run_on_constructed_registers(
+                ThreeUnboundedProtocol(layout="srsw"), ("a", "b", "a"),
+                seed=seed, backing=regular_backing,
+            )
+            assert result.completed
+            assert result.consistent and result.nontrivial
+
     def test_srsw_layout_on_seqnum_construction(self):
         for seed in range(25):
             result = run_on_constructed_registers(
@@ -104,6 +116,133 @@ class TestThreeProcessOnConstructions:
                 ThreeUnboundedProtocol(), ("a", "b", "a"), seed=0,
                 backing=seqnum_atomic_backing,
             )
+
+
+class TestKernelHistoriesAgainstConditions:
+    """Cross-check the kernel's memory models against the Lamport
+    condition checkers of :mod:`repro.registers.conditions`.
+
+    A serialized kernel run is re-read as an interval history on a
+    doubled clock: a read at kernel step ``s`` occupies ``[2s, 2s+1]``;
+    an atomic write at ``t`` occupies ``[2t, 2t+1]``; a weak write
+    issued at ``t`` and committed at the writer's next activation
+    ``t'`` spans ``[2t, 2t'-1]`` (never committed → past the end of
+    the run, overlapping every later read).  Written values are
+    tokenized to be distinct (the atomicity checker's precondition) and
+    each read is matched to the feasible token carrying its raw value.
+    Histories emitted under ``AtomicMemory`` must grade atomic;
+    histories under ``RegularMemory`` — with the adversary choosing
+    read values at random — must grade regular.
+    """
+
+    @staticmethod
+    def _histories(protocol, inputs, memory, seed):
+        from repro.registers.conditions import _feasible_regular
+        from repro.registers.history import History, Interval
+        from repro.sched.adversary import ReadValueAdversary
+        from repro.sched.simple import RandomScheduler
+        from repro.sim.config import RegisterLayout
+        from repro.sim.kernel import Simulation
+        from repro.sim.ops import ReadOp
+        from repro.sim.rng import ReplayableRng
+
+        rng = ReplayableRng(seed)
+        scheduler = RandomScheduler(rng.child("sched"))
+        if memory != "atomic":
+            scheduler = ReadValueAdversary(scheduler, policy="random",
+                                           rng=rng.child("rv"))
+        sim = Simulation(protocol, inputs, scheduler,
+                         rng.child("kernel"), record_trace=True,
+                         memory=memory)
+        result = sim.run(2_000)
+        assert result.completed
+        steps = list(result.trace)
+        horizon = 2 * (len(steps) + 1)
+        layout = RegisterLayout.for_protocol(protocol)
+
+        histories = {spec.name: History(initial=spec.initial)
+                     for spec in layout.specs}
+        # Pass 1: writes become uniquely-tokenized intervals.
+        tokens = {}  # step index -> token
+        for i, step in enumerate(steps):
+            if isinstance(step.op, ReadOp):
+                continue
+            if memory == "atomic":
+                respond = 2 * i + 1
+            else:
+                commit = next((j for j in range(i + 1, len(steps))
+                               if steps[j].pid == step.pid), None)
+                respond = 2 * commit - 1 if commit is not None else horizon
+            token = ("w", i, step.op.value)
+            tokens[i] = token
+            histories[step.op.register].record(Interval(
+                kind="write", value=token, thread=f"P{step.pid}",
+                invoke=2 * i, respond=respond,
+            ))
+        # Pass 2: match each read's raw result to a feasible token.
+        for i, step in enumerate(steps):
+            if not isinstance(step.op, ReadOp):
+                continue
+            history = histories[step.op.register]
+            read = Interval(kind="read", value=None, thread=f"P{step.pid}",
+                            invoke=2 * i, respond=2 * i + 1)
+            feasible = _feasible_regular(history, read)
+            matches = [t for t in feasible
+                       if isinstance(t, tuple) and t[0] == "w"
+                       and t[2] == step.result]
+            if matches:
+                value = max(matches, key=lambda t: t[1])
+            elif step.result == history.initial and \
+                    history.initial in feasible:
+                value = history.initial
+            else:
+                # No feasible explanation — record the raw value so the
+                # condition checker flags it instead of passing
+                # vacuously.
+                value = ("unexplained", i, step.result)
+            history.record(Interval(
+                kind="read", value=value, thread=f"P{step.pid}",
+                invoke=2 * i, respond=2 * i + 1,
+            ))
+        return histories
+
+    @pytest.mark.parametrize("protocol_factory,inputs", [
+        (lambda: TwoProcessProtocol(), ("a", "b")),
+        (lambda: ThreeUnboundedProtocol(layout="srsw"), ("a", "b", "a")),
+    ])
+    def test_atomic_kernel_histories_grade_atomic(self, protocol_factory,
+                                                  inputs):
+        from repro.registers.conditions import check_atomic
+
+        for seed in range(8):
+            histories = self._histories(protocol_factory(), inputs,
+                                        "atomic", seed)
+            for name, history in histories.items():
+                if not history.reads:
+                    continue
+                verdict = check_atomic(history)
+                assert verdict.ok, (
+                    f"seed {seed}, register {name}:\n{verdict.render()}"
+                )
+
+    @pytest.mark.parametrize("protocol_factory,inputs", [
+        (lambda: TwoProcessProtocol(), ("a", "b")),
+        (lambda: ThreeUnboundedProtocol(layout="srsw"), ("a", "b", "a")),
+    ])
+    def test_regular_kernel_histories_grade_regular(self, protocol_factory,
+                                                    inputs):
+        from repro.registers.conditions import check_regular
+
+        for seed in range(8):
+            histories = self._histories(protocol_factory(), inputs,
+                                        "regular", seed)
+            for name, history in histories.items():
+                if not history.reads:
+                    continue
+                verdict = check_regular(history)
+                assert verdict.ok, (
+                    f"seed {seed}, register {name}:\n{verdict.render()}"
+                )
 
 
 class TestAdapterValidation:
