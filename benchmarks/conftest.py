@@ -9,10 +9,123 @@ are printed in pytest's terminal summary (so they land in
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List, Sequence, Tuple
+import platform
+import subprocess
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import pytest
+
+# -- shared BENCH_*.json schema ---------------------------------------
+#
+# Every benchmark artifact in this directory is written through
+# dump_bench() so the files share one envelope:
+#
+#   {"schema_version": 1,
+#    "git_describe": "<describe or short sha>",
+#    "host": {"node": ..., "machine": ..., "cpus": ...},
+#    "environment": {...},            # library/python/platform stamp
+#    "metrics": {"<experiment>/<protocol>": {...}},  # flat summary
+#    "records": [...]}                # full ExperimentRecord dicts
+#
+# "metrics" duplicates each record's metrics under a stable flat key so
+# cross-PR tooling (and the tracing bench's overhead gate) can diff two
+# BENCH files without walking the record list; "host" lets perf gates
+# skip themselves when the baseline came from different hardware.
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_path(name: str) -> str:
+    """Absolute path of ``benchmarks/BENCH_<name>.json``."""
+    return os.path.join(os.path.dirname(__file__), f"BENCH_{name}.json")
+
+
+def git_describe() -> str:
+    """``git describe`` of the working tree, or a short-sha fallback."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for cmd in (["git", "describe", "--always", "--dirty", "--tags"],
+                ["git", "rev-parse", "--short", "HEAD"]):
+        try:
+            out = subprocess.run(cmd, cwd=root, capture_output=True,
+                                 text=True, timeout=10)
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    return "unknown"
+
+
+def host_stamp() -> Dict[str, Any]:
+    """Hardware identity for conditional perf gates."""
+    return {
+        "node": platform.node(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def same_host(doc: Dict[str, Any]) -> bool:
+    """Whether a loaded BENCH doc was measured on this machine."""
+    return doc.get("host") == host_stamp()
+
+
+def dump_bench(records: Sequence, name: str) -> str:
+    """Write ``BENCH_<name>.json`` in the shared schema; returns path."""
+    from repro.analysis.reporting import environment_stamp
+
+    metrics: Dict[str, Any] = {}
+    for record in records:
+        key = f"{record.experiment}/{record.protocol}/{record.scheduler}"
+        n = 2
+        while key in metrics:  # repeated cell: disambiguate stably
+            key = (f"{record.experiment}/{record.protocol}/"
+                   f"{record.scheduler}#{n}")
+            n += 1
+        metrics[key] = record.metrics
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_describe": git_describe(),
+        "host": host_stamp(),
+        "environment": environment_stamp(),
+        "metrics": metrics,
+        "records": [r.to_dict() for r in records],
+    }
+    path = bench_path(name)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(doc, indent=2, sort_keys=True, default=str)
+                 + "\n")
+    return path
+
+
+def load_bench(name: str) -> Optional[Dict[str, Any]]:
+    """Load a BENCH doc; ``None`` if absent.
+
+    Legacy files (pre-envelope ``{environment, records}``) are lifted
+    into the shared shape with ``schema_version`` 0 and no host — so
+    consumers can treat every baseline uniformly and host-conditional
+    gates automatically skip legacy baselines.
+    """
+    path = bench_path(name)
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "schema_version" not in doc:
+        doc = {
+            "schema_version": 0,
+            "git_describe": "unknown",
+            "host": None,
+            "environment": doc.get("environment", {}),
+            "metrics": {
+                f"{r['experiment']}/{r['protocol']}/{r['scheduler']}":
+                    r["metrics"]
+                for r in doc.get("records", ())
+            },
+            "records": doc.get("records", []),
+        }
+    return doc
 
 
 class ExperimentReport:

@@ -21,10 +21,10 @@ run.  Wall time is best-of-``REPS`` to shed scheduler-noise outliers.
 
 from __future__ import annotations
 
-import os
 from time import perf_counter
 
-from repro.analysis.reporting import ExperimentRecord, dump_records
+from conftest import dump_bench
+from repro.analysis.reporting import ExperimentRecord
 from repro.core.three_bounded import ThreeBoundedProtocol
 from repro.core.two_process import TwoProcessProtocol
 from repro.sched.simple import RandomScheduler
@@ -42,7 +42,6 @@ SEED = 2025
 # real fast-path regression.
 MIN_SPEEDUP = 2.0
 
-BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_kernel.json")
 
 CASES = {
     "two_process": (lambda: TwoProcessProtocol(), ("a", "b")),
@@ -167,4 +166,4 @@ def test_bench_kernel_fast_path(benchmark, report):
               "measured ratios land in BENCH_kernel.json."),
     )
 
-    dump_records(records, path=BENCH_JSON)
+    dump_bench(records, "kernel")

@@ -18,11 +18,11 @@ Results land in ``BENCH_memory.json`` (schema in docs/PERFORMANCE.md).
 
 from __future__ import annotations
 
-import os
 from time import perf_counter
 from typing import List, Optional
 
-from repro.analysis.reporting import ExperimentRecord, dump_records
+from conftest import dump_bench
+from repro.analysis.reporting import ExperimentRecord
 from repro.core.three_bounded import ThreeBoundedProtocol
 from repro.core.two_process import TwoProcessProtocol
 from repro.sched.simple import RandomScheduler
@@ -37,7 +37,6 @@ SEED = 2026
 #: Acceptance gate: atomic-path throughput >= 90% of the PR-3 replica.
 MAX_ATOMIC_OVERHEAD = 0.10
 
-BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_memory.json")
 
 CASES = {
     "two_process": (lambda: TwoProcessProtocol(), ("a", "b")),
@@ -271,4 +270,4 @@ def test_bench_memory_atomic_overhead(benchmark, report):
               "regression)."),
     )
 
-    dump_records(records, path=BENCH_JSON)
+    dump_bench(records, "memory")

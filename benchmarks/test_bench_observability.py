@@ -19,10 +19,10 @@ against.
 
 from __future__ import annotations
 
-import os
 import time
 
-from repro.analysis.reporting import dump_records, record_batch
+from conftest import dump_bench
+from repro.analysis.reporting import record_batch
 from repro.core.two_process import TwoProcessProtocol
 from repro.obs import JsonlJournal, MetricsRegistry
 from repro.sched.simple import RandomScheduler
@@ -39,10 +39,6 @@ MAX_STEPS = 4_000
 # accidental allocation per event).
 METRICS_BUDGET = 3.5
 JOURNAL_BUDGET = 7.0
-
-BENCH_JSON = os.path.join(os.path.dirname(__file__),
-                          "BENCH_observability.json")
-
 
 def make_runner(seed=2025, sinks=()):
     return ExperimentRunner(
@@ -131,4 +127,4 @@ def test_bench_observability_overhead(benchmark, report, tmp_path):
         "metrics_overhead_ratio": t_metrics / t_base,
         "journal_overhead_ratio": t_journal / t_base,
     }
-    dump_records([record], path=BENCH_JSON)
+    dump_bench([record], "observability")

@@ -21,7 +21,8 @@ import multiprocessing
 import os
 import time
 
-from repro.analysis.reporting import dump_records, record_batch
+from conftest import dump_bench
+from repro.analysis.reporting import record_batch
 from repro.obs import MetricsRegistry
 from repro.parallel import ConstantInputs, ProtocolSpec, SchedulerSpec
 from repro.sim.runner import ExperimentRunner
@@ -33,7 +34,6 @@ WORKERS = 4
 SEED = 2025
 SPEEDUP_FLOOR = 2.0
 
-BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_parallel.json")
 
 
 def usable_cpus() -> int:
@@ -160,4 +160,4 @@ def test_bench_parallel_speedup_and_exactness(benchmark, report, tmp_path):
         "journal_runs": JOURNAL_RUNS,
         "journal_events": jp.journal_events,
     }
-    dump_records([record], path=BENCH_JSON)
+    dump_bench([record], "parallel")

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.config import Configuration, RegisterLayout
@@ -241,6 +242,7 @@ def explore(
     max_states: int = 1_000_000,
     on_node: Optional[Callable[[Configuration, int], None]] = None,
     memory=None,
+    tracer=None,
 ) -> ConfigGraph:
     """Breadth-first exploration from the initial configuration.
 
@@ -263,7 +265,13 @@ def explore(
         MemorySpec`).  Weak semantics add value-choice branching: the
         graph then quantifies over adversary read-value choices as well
         as scheduling and coins.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`; the whole BFS is
+        recorded as one ``checker.explore`` span (logical time = depth
+        reached, attrs = configs/edges/completeness).  Purely
+        observational — the graph is identical with or without it.
     """
+    t0 = _perf_counter() if tracer is not None else 0.0
     # One TransitionCache for the whole BFS: (pid, state) pairs recur
     # across configurations far more often than in a single run, so
     # branch/slot/observe resolution is paid once per distinct pair.
@@ -320,7 +328,7 @@ def explore(
             if tuple(successors(protocol, layout, config, cache, model)):
                 complete = False
 
-    return ConfigGraph(
+    graph = ConfigGraph(
         protocol=protocol,
         layout=layout,
         roots=(root,),
@@ -329,3 +337,14 @@ def explore(
         frontier=tuple(frontier),
         complete=complete,
     )
+    if tracer is not None:
+        tracer.record_explore(
+            protocol_name=getattr(protocol, "name",
+                                  type(protocol).__name__),
+            n_configs=len(depth_of),
+            n_edges=sum(len(e) for e in edges.values()),
+            depth=max(depth_of.values()) if depth_of else 0,
+            complete=complete,
+            seconds=_perf_counter() - t0,
+        )
+    return graph

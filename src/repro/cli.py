@@ -11,7 +11,12 @@ Subcommands map one-to-one onto the library's main entry points:
   and print worst-case expected costs;
 * ``tower``          — grade the Lamport register construction tower;
 * ``report``         — run an instrumented Monte-Carlo batch and print
-  its observability metrics (or replay a saved journal).
+  its observability metrics (or replay a saved journal);
+* ``trace``          — re-execute one seeded run with the span tracer
+  attached and print its deterministic span tree;
+* ``top``            — follow a sweep's live telemetry file (one row
+  per shard: progress, steps/s, ETA, tail percentiles);
+* ``journal verify`` — check a JSONL journal for truncation or damage.
 
 Examples::
 
@@ -24,8 +29,12 @@ Examples::
     python -m repro game --cost processor:0
     python -m repro tower --seeds 20
     python -m repro report --protocol two --runs 5000
-    python -m repro report --runs 100000 --workers 8
+    python -m repro report --runs 100000 --workers 8 --telemetry top.jsonl
     python -m repro report --from-journal run.jsonl
+    python -m repro report --runs 200 --profile --folded profile.folded
+    python -m repro trace --seed 42 --index 7
+    python -m repro top top.jsonl --follow
+    python -m repro journal verify run.jsonl
 """
 
 from __future__ import annotations
@@ -276,6 +285,99 @@ def _print_report(metrics, title: str) -> None:
             _print_histogram(name, hist)
 
 
+def _write_prometheus(metrics, path: str) -> None:
+    from repro.obs import prometheus_text
+
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(metrics))
+    print(f"prometheus: {path}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Tracer, render_span_tree
+
+    if args.from_journal:
+        from repro.obs import iter_spans
+        from repro.obs.tracing import Span
+
+        spans = [Span.from_dict(d) for d in iter_spans(args.from_journal)]
+        if args.trace_id:
+            spans = [s for s in spans if s.trace_id == args.trace_id]
+        if not spans:
+            print("(no spans in journal — schema v3 with a tracer "
+                  "attached writes them)")
+            return 1
+        print(render_span_tree(spans))
+        return 0
+
+    import time
+
+    from repro.parallel.tasks import (ConstantInputs, ProtocolSpec,
+                                      SchedulerSpec)
+    from repro.sim.runner import ExperimentRunner
+
+    inputs = tuple(args.inputs.split(","))
+    tracer = Tracer(clock=time.perf_counter if args.wall else None,
+                    max_spans=args.max_spans)
+    runner = ExperimentRunner(
+        protocol_factory=ProtocolSpec(args.protocol, len(inputs)),
+        scheduler_factory=SchedulerSpec(args.scheduler),
+        inputs_factory=ConstantInputs(inputs),
+        seed=args.seed,
+        sinks=(tracer,),
+        memory=args.memory,
+    )
+    runner.run_one(args.index, args.max_steps)
+    spans = tracer.trace()
+    print(f"trace {spans[0].trace_id}  "
+          f"(root_seed={args.seed}, run_index={args.index})")
+    print(render_span_tree(spans))
+    if args.otlp:
+        from repro.obs.export import otlp_json_text
+
+        with open(args.otlp, "w") as fh:
+            fh.write(otlp_json_text(spans=spans))
+        print(f"otlp: {args.otlp}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.obs.telemetry import (latest_by_shard, read_telemetry,
+                                     render_top)
+
+    def load():
+        return (read_telemetry(args.path)
+                if os.path.exists(args.path) else [])
+
+    if not args.follow:
+        print(render_top(load()))
+        return 0
+    try:
+        while True:
+            beats = load()
+            # Clear-and-home keeps one live table, top(1)-style.
+            print("\x1b[2J\x1b[H", end="")
+            print(f"repro top — {args.path}")
+            print(render_top(beats))
+            latest = latest_by_shard(beats)
+            if latest and all(b.done for b in latest.values()):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_journal_verify(args: argparse.Namespace) -> int:
+    from repro.obs import verify_journal
+
+    verdict = verify_journal(args.path)
+    print(verdict.render())
+    return 0 if verdict.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry, PhaseTimer
 
@@ -284,6 +386,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
         metrics = replay_journal(args.from_journal)
         _print_report(metrics, f"replayed journal: {args.from_journal}")
+        if args.prometheus:
+            _write_prometheus(metrics, args.prometheus)
         return 0
 
     from repro.parallel.tasks import (ConstantInputs, ProtocolSpec,
@@ -292,15 +396,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    if args.timing and args.workers > 1:
-        raise SystemExit("--timing needs --workers 1 (wall-clock phases "
-                         "cannot be attributed across worker processes)")
+    if (args.timing or args.profile) and args.workers > 1:
+        raise SystemExit("--timing/--profile need --workers 1 "
+                         "(wall-clock phases cannot be attributed "
+                         "across worker processes)")
+    if args.folded and not args.profile:
+        raise SystemExit("--folded needs --profile (it exports the "
+                         "profiler's component attribution)")
 
     inputs = tuple(args.inputs.split(","))
     protocol_name = args.protocol
     metrics = MetricsRegistry()
     timer = PhaseTimer() if args.timing else None
-    sinks = tuple(s for s in (metrics, timer) if s is not None)
+    profiler = None
+    if args.profile:
+        from repro.obs import TimeAttributionProfiler
+
+        profiler = TimeAttributionProfiler(
+            (protocol_name, args.scheduler, args.memory))
+    sinks = tuple(s for s in (metrics, timer, profiler) if s is not None)
     runner = ExperimentRunner(
         protocol_factory=ProtocolSpec(protocol_name, len(inputs)),
         scheduler_factory=SchedulerSpec(args.scheduler),
@@ -315,6 +429,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_size=args.shard_size,
         journal_path=args.journal,
+        telemetry_path=args.telemetry,
     )
 
     sharded = (f", {args.workers} workers"
@@ -327,9 +442,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if timer is not None:
         print("\nphase timing:")
         print(timer.render())
+    if profiler is not None:
+        print("\ntime attribution:")
+        print(profiler.render())
+        if args.folded:
+            from repro.obs import folded_stacks
+
+            with open(args.folded, "w") as fh:
+                fh.write(folded_stacks(profiler.stacks()))
+            print(f"folded stacks: {args.folded}")
+    if args.prometheus:
+        _write_prometheus(metrics, args.prometheus)
     if stats.journal_path is not None:
         print(f"\njournal: {stats.journal_path} "
               f"({stats.journal_events} events)")
+    if args.telemetry:
+        print(f"telemetry: {args.telemetry}")
     if args.json:
         from repro.analysis.reporting import dump_records, record_batch
 
@@ -448,9 +576,74 @@ def build_parser() -> argparse.ArgumentParser:
                    help="register semantics every run executes under")
     p.add_argument("--timing", action="store_true",
                    help="attach a PhaseTimer and print phase wall-times")
+    p.add_argument("--profile", action="store_true",
+                   help="attach a time-attribution profiler (scheduler/"
+                        "transition/memory/kernel/hooks split)")
+    p.add_argument("--folded", metavar="PATH", default=None,
+                   help="with --profile: write flamegraph-ready folded "
+                        "stacks to PATH")
+    p.add_argument("--prometheus", metavar="PATH", default=None,
+                   help="write the metrics in Prometheus text format "
+                        "to PATH")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="stream live per-shard heartbeats (JSONL) to "
+                        "PATH; follow with 'repro top PATH'")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also dump an ExperimentRecord JSON file to PATH")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "trace",
+        help="render the deterministic span tree of one seeded run")
+    p.add_argument("--protocol", default="two",
+                   choices=["two", "three-unbounded", "three-bounded",
+                            "n", "naive"])
+    p.add_argument("--inputs", default="a,b",
+                   help="comma-separated input values, one per processor")
+    p.add_argument("--scheduler", default="random",
+                   choices=["random", "round-robin", "oblivious",
+                            "split-vote", "laggard-freezer",
+                            "read-adversary"])
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed of the batch the run belongs to")
+    p.add_argument("--index", type=int, default=0,
+                   help="run index within the batch (the replay key is "
+                        "(seed, index))")
+    p.add_argument("--max-steps", type=int, default=4000)
+    p.add_argument("--max-spans", type=int, default=4096,
+                   help="per-run span budget (excess steps are counted "
+                        "as dropped, not recorded)")
+    p.add_argument("--memory", default="atomic",
+                   choices=["atomic", "regular", "safe"])
+    p.add_argument("--wall", action="store_true",
+                   help="also record wall-clock durations (wall_us "
+                        "span attributes; ids stay deterministic)")
+    p.add_argument("--otlp", metavar="PATH", default=None,
+                   help="write the trace as OTLP-style JSON to PATH")
+    p.add_argument("--from-journal", metavar="PATH", default=None,
+                   help="skip running; render spans recorded in a "
+                        "schema-v3 journal")
+    p.add_argument("--trace-id", default=None,
+                   help="with --from-journal: only this trace")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live progress table for a sweep writing --telemetry")
+    p.add_argument("path", help="telemetry JSONL file the sweep writes")
+    p.add_argument("--follow", action="store_true",
+                   help="keep refreshing until every shard is done")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period in seconds (with --follow)")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser("journal", help="journal maintenance utilities")
+    jsub = p.add_subparsers(dest="journal_command", required=True)
+    jp = jsub.add_parser(
+        "verify",
+        help="check a JSONL journal for truncation or damage")
+    jp.add_argument("path")
+    jp.set_defaults(func=_cmd_journal_verify)
 
     return parser
 

@@ -117,4 +117,10 @@ def solve(
         fast=fast,
         memory=memory,
     )
+    # Single-run convention: this run's replay key is (seed, 0), so a
+    # span tracer attached here derives the same trace id every call.
+    for sink in sinks:
+        run_key = getattr(sink, "on_run_key", None)
+        if run_key is not None:
+            run_key(seed, 0)
     return ConsensusOutcome.from_run(sim.run(max_steps))

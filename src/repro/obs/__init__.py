@@ -22,14 +22,32 @@ slow or memory-hungry:
   metrics of the live run.
 * :mod:`repro.obs.timers` — :class:`PhaseTimer`, a wall-clock profiling
   sink splitting run time into scheduler-choice / kernel-step /
-  protocol-transition phases.
+  protocol-transition / memory-resolution phases.
+* :mod:`repro.obs.tracing` — :class:`Tracer`, an OpenTelemetry-shaped
+  span sink whose trace/span ids derive deterministically from the
+  run's replay key, so a replay produces the identical trace.
+* :mod:`repro.obs.telemetry` — per-shard heartbeats for live batch
+  progress (``repro top``); wall-clock only, never part of results.
+* :mod:`repro.obs.profiling` — :class:`TimeAttributionProfiler`,
+  attributing run wall time to scheduler / transition / memory /
+  kernel / hooks components for folded-stack flamegraphs.
+* :mod:`repro.obs.export` — Prometheus text, OTLP-style JSON, and
+  folded-stack emitters (with strict round-trip parsers).
 """
 
+from repro.obs.export import (folded_stacks, otlp_json, parse_folded,
+                              parse_prometheus, prometheus_text)
 from repro.obs.hooks import BaseSink, ObsHub
-from repro.obs.journal import (JsonlJournal, concatenate_journals,
-                               iter_events, replay_journal)
+from repro.obs.journal import (JournalVerdict, JsonlJournal,
+                               concatenate_journals, iter_events,
+                               iter_spans, replay_journal, verify_journal)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import TimeAttributionProfiler, profile_matrix
+from repro.obs.telemetry import (Heartbeat, TelemetryEmitter,
+                                 read_telemetry, render_top)
 from repro.obs.timers import PhaseTimer
+from repro.obs.tracing import (Span, Tracer, render_span_tree, span_id_for,
+                               trace_id_for)
 
 __all__ = [
     "BaseSink",
@@ -39,8 +57,27 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "JsonlJournal",
+    "JournalVerdict",
     "concatenate_journals",
     "iter_events",
+    "iter_spans",
     "replay_journal",
+    "verify_journal",
     "PhaseTimer",
+    "Span",
+    "Tracer",
+    "trace_id_for",
+    "span_id_for",
+    "render_span_tree",
+    "Heartbeat",
+    "TelemetryEmitter",
+    "read_telemetry",
+    "render_top",
+    "TimeAttributionProfiler",
+    "profile_matrix",
+    "folded_stacks",
+    "otlp_json",
+    "parse_folded",
+    "parse_prometheus",
+    "prometheus_text",
 ]

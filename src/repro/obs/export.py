@@ -1,0 +1,301 @@
+"""Exporters: Prometheus text, OTLP-style JSON, and folded stacks.
+
+The observability layer's native containers — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a list of
+:class:`~repro.obs.tracing.Span` records, a
+:class:`~repro.obs.profiling.ComponentProfile` — are Python objects.
+This module turns them into the three interchange formats the wider
+tooling world already speaks:
+
+* **Prometheus text exposition** (:func:`prometheus_text`) — counters
+  become ``_total`` counters, gauges become gauges, and the exact-count
+  histograms become classic cumulative ``le``-bucket histograms (one
+  bucket per distinct observed value, so nothing is approximated).
+* **OTLP-style JSON** (:func:`otlp_json`) — ``resourceMetrics`` /
+  ``resourceSpans`` shaped like the OpenTelemetry protocol's JSON
+  encoding, with logical span times carried as nanoseconds.
+* **Folded stacks** (:func:`folded_stacks`) — one
+  ``frame;frame;frame value`` line per component path, the input format
+  of every flamegraph renderer; values are integer microseconds.
+
+Each emitter has a matching strict parser (:func:`parse_prometheus`,
+:func:`parse_folded`) used by the round-trip tests — the exporters are
+only trustworthy if their output survives independent re-parsing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_PROM_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_RE.sub("_", name)
+
+
+def _prom_number(x: Any) -> str:
+    if isinstance(x, bool):  # pragma: no cover - no bool metrics exist
+        return "1" if x else "0"
+    if isinstance(x, float) and x == int(x):
+        return str(int(x))
+    return repr(x) if isinstance(x, float) else str(x)
+
+
+def prometheus_text(registry, prefix: str = "repro_") -> str:
+    """Render a :class:`MetricsRegistry` in Prometheus text format.
+
+    Counters are exported as ``<prefix><name>_total``; histograms emit
+    the full cumulative bucket series — one ``le`` bucket per distinct
+    observed value plus ``+Inf`` — alongside ``_sum`` and ``_count``,
+    so a Prometheus scrape reconstructs the *exact* distribution (the
+    native histograms are exact counts, not pre-bucketed).
+    """
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {registry.counters[name].value}")
+    for name in sorted(registry.gauges):
+        gauge = registry.gauges[name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        value = gauge.value if gauge.value is not None else "NaN"
+        lines.append(f"{metric} {value}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for value in sorted(hist.counts):
+            cumulative += hist.counts[value]
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_number(value)}"}} '
+                f"{cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.total}')
+        lines.append(f"{metric}_sum {hist._sum}")
+        lines.append(f"{metric}_count {hist.total}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Strict parser for the Prometheus text exposition format.
+
+    Returns ``{"types": {metric: type}, "samples": [(name, labels,
+    value)]}``; raises :class:`ValueError` on any malformed line, and
+    verifies every histogram's bucket series is cumulative and
+    consistent with its ``_count``.  This is the round-trip checker the
+    exporter tests drive — deliberately unforgiving.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            if parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(
+                    f"line {lineno}: unknown metric type {parts[3]!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _PROM_LINE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        labels: Dict[str, str] = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                lm = _PROM_LABEL_RE.match(pair)
+                if lm is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}")
+                labels[lm.group(1)] = lm.group(2)
+        raw = m.group("value")
+        value = float("nan") if raw == "NaN" else float(raw)
+        samples.append((m.group("name"), labels, value))
+    # Histogram invariants: buckets cumulative, +Inf == _count.
+    for metric, mtype in types.items():
+        if mtype != "histogram":
+            continue
+        buckets = [(labels["le"], value) for name, labels, value in samples
+                   if name == f"{metric}_bucket"]
+        counts = [value for name, _, value in samples
+                  if name == f"{metric}_count"]
+        if not buckets or not counts:
+            raise ValueError(f"{metric}: missing buckets or _count")
+        series = [v for _, v in buckets]
+        if series != sorted(series):
+            raise ValueError(f"{metric}: bucket series not cumulative")
+        if buckets[-1][0] != "+Inf" or buckets[-1][1] != counts[0]:
+            raise ValueError(f"{metric}: +Inf bucket != _count")
+    return {"types": types, "samples": samples}
+
+
+# -- OTLP-style JSON ---------------------------------------------------
+
+
+def _otlp_value(x: Any) -> Dict[str, Any]:
+    if isinstance(x, bool):
+        return {"boolValue": x}
+    if isinstance(x, int):
+        return {"intValue": str(x)}
+    if isinstance(x, float):
+        return {"doubleValue": x}
+    return {"stringValue": str(x)}
+
+
+def _otlp_attrs(attrs: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [{"key": k, "value": _otlp_value(v)}
+            for k, v in sorted(attrs.items())]
+
+
+def otlp_json(registry=None, spans: Sequence = None,
+              resource: Optional[Dict[str, Any]] = None,
+              time_unit_ns: int = 1000) -> Dict[str, Any]:
+    """OTLP-shaped JSON document for a registry and/or a span list.
+
+    ``spans`` are :class:`~repro.obs.tracing.Span` objects (or their
+    dicts); their logical step timestamps are scaled by
+    ``time_unit_ns`` into the nanosecond fields OTLP mandates, so a
+    10-step run reads as 10 us on any OTLP viewer while staying fully
+    deterministic.  The document carries ``resourceSpans`` and/or
+    ``resourceMetrics`` top-level keys, shaped like the OTLP JSON
+    encoding (scope name ``repro.obs``).
+    """
+    resource_attrs = _otlp_attrs(resource or {"service.name": "repro"})
+    doc: Dict[str, Any] = {}
+    if spans is not None:
+        otlp_spans = []
+        for span in spans:
+            d = span if isinstance(span, dict) else span.to_dict()
+            entry = {
+                "traceId": d["trace_id"],
+                "spanId": d["span_id"],
+                "name": d["name"],
+                "kind": 1,  # SPAN_KIND_INTERNAL
+                "startTimeUnixNano": str(d["start"] * time_unit_ns),
+                "endTimeUnixNano": str(d["end"] * time_unit_ns),
+                "attributes": _otlp_attrs(d.get("attrs", {})),
+            }
+            if d.get("parent_id"):
+                entry["parentSpanId"] = d["parent_id"]
+            otlp_spans.append(entry)
+        doc["resourceSpans"] = [{
+            "resource": {"attributes": resource_attrs},
+            "scopeSpans": [{
+                "scope": {"name": "repro.obs"},
+                "spans": otlp_spans,
+            }],
+        }]
+    if registry is not None:
+        metrics = []
+        for name in sorted(registry.counters):
+            metrics.append({
+                "name": name,
+                "sum": {
+                    "aggregationTemporality": 2,  # CUMULATIVE
+                    "isMonotonic": True,
+                    "dataPoints": [
+                        {"asInt": str(registry.counters[name].value)}
+                    ],
+                },
+            })
+        for name in sorted(registry.gauges):
+            gauge = registry.gauges[name]
+            metrics.append({
+                "name": name,
+                "gauge": {"dataPoints": [
+                    {"asDouble": float(gauge.value)}
+                    if gauge.value is not None else {}
+                ]},
+            })
+        for name in sorted(registry.histograms):
+            hist = registry.histograms[name]
+            bounds = sorted(hist.counts)
+            cumulative, buckets = 0, []
+            for value in bounds:
+                cumulative += hist.counts[value]
+                buckets.append(cumulative)
+            metrics.append({
+                "name": name,
+                "histogram": {
+                    "aggregationTemporality": 2,
+                    "dataPoints": [{
+                        "count": str(hist.total),
+                        "sum": float(hist._sum),
+                        "explicitBounds": [float(b) for b in bounds],
+                        "bucketCounts": [str(b) for b in buckets],
+                    }],
+                },
+            })
+        doc["resourceMetrics"] = [{
+            "resource": {"attributes": resource_attrs},
+            "scopeMetrics": [{
+                "scope": {"name": "repro.obs"},
+                "metrics": metrics,
+            }],
+        }]
+    return doc
+
+
+def otlp_json_text(registry=None, spans: Sequence = None, **kw) -> str:
+    """:func:`otlp_json`, serialized (stable key order)."""
+    return json.dumps(otlp_json(registry=registry, spans=spans, **kw),
+                      sort_keys=True, indent=2)
+
+
+# -- folded stacks (flamegraphs) ---------------------------------------
+
+
+def folded_stacks(stacks: Iterable[Tuple[Sequence[str], float]]) -> str:
+    """Render ``(frames, seconds)`` pairs in folded-stack format.
+
+    One ``frame;frame;frame value`` line per stack, values in integer
+    microseconds — the exact input of ``flamegraph.pl`` and every
+    speedscope-style viewer.  Frames must not contain ``;`` or spaces
+    (enforced: both would corrupt the format), and zero-microsecond
+    stacks are dropped (folded format forbids zero counts).
+    """
+    lines: List[str] = []
+    for frames, seconds in stacks:
+        for frame in frames:
+            if ";" in frame or " " in frame:
+                raise ValueError(
+                    f"frame {frame!r} contains a folded-format "
+                    f"delimiter (';' or space)")
+        us = round(seconds * 1e6)
+        if us <= 0:
+            continue
+        lines.append(";".join(frames) + f" {us}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_folded(text: str) -> List[Tuple[Tuple[str, ...], int]]:
+    """Strict parser for folded-stack text (the round-trip checker)."""
+    out: List[Tuple[Tuple[str, ...], int]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError(f"line {lineno}: malformed folded line")
+        if not value.isdigit():
+            raise ValueError(
+                f"line {lineno}: non-integer sample count {value!r}")
+        frames = tuple(stack.split(";"))
+        if any(not f for f in frames):
+            raise ValueError(f"line {lineno}: empty frame")
+        out.append((frames, int(value)))
+    return out

@@ -17,6 +17,9 @@ Design constraints, in order of priority:
 
 Event vocabulary (one method per event, mirroring the kernel):
 
+``on_run_key``      the run's replay coordinates ``(root_seed,
+                    run_index)``, delivered by the *runner* (the kernel
+                    does not know them) just before ``on_run_start``
 ``on_run_start``    once per :meth:`Simulation.run` entry
 ``on_sched``        one scheduler consultation (cumulative count)
 ``on_coin_flip``    a probabilistic branch was sampled for ``pid``
@@ -57,6 +60,18 @@ class BaseSink:
     #: Set to True to make the kernel measure phase wall-times and
     #: deliver them via :meth:`on_phase_time`.
     wants_timing: bool = False
+
+    def on_run_key(self, root_seed: int, run_index: int) -> None:
+        """The replay coordinates of the run about to start.
+
+        Delivered by :meth:`ExperimentRunner.run_one` (and the
+        ``solve`` entry point) before the kernel's ``on_run_start``,
+        because only the runner knows which ``(root_seed, run_index)``
+        pair seeded the streams.  Sinks that derive deterministic
+        identifiers from the key (e.g. the span tracer's trace ids)
+        override this; direct :class:`Simulation` users who bypass the
+        runner simply never receive it.
+        """
 
     def on_run_start(self, protocol_name: str, n_processes: int,
                      inputs: Tuple[Hashable, ...]) -> None:
@@ -119,6 +134,10 @@ class ObsHub:
 
     def __len__(self) -> int:
         return len(self.sinks)
+
+    def run_key(self, root_seed: int, run_index: int) -> None:
+        for s in self.sinks:
+            s.on_run_key(root_seed, run_index)
 
     def run_start(self, protocol_name: str, n_processes: int,
                   inputs: Tuple[Hashable, ...]) -> None:

@@ -8,9 +8,9 @@ human-greppable artifact and a replayable one: feeding it back through
 :func:`replay_journal` reproduces, event for event, the exact metrics a
 live :class:`~repro.obs.metrics.MetricsRegistry` would have collected.
 
-Schema (version 2) — one object per line:
+Schema (version 3) — one object per line:
 
-``{"t": "journal", "v": 2, "mem": "atomic"|"regular"|"safe"}``
+``{"t": "journal", "v": 3, "mem": "atomic"|"regular"|"safe"}``
     header, always the first line; ``mem`` tags the register semantics
     every run in the file executed under (see :mod:`repro.sim.memory`).
 ``{"t": "run_start", "protocol": str, "n": int, "inputs": [...]}``
@@ -25,11 +25,27 @@ Schema (version 2) — one object per line:
 ``{"t": "crash", "i": int, "pid": int}``
 ``{"t": "run_end", "completed": bool, "steps": int, "consults": int,
   "crashed": [...]}``
+``{"t": "span", "trace_id": str, "span_id": str, "parent_id": str?,
+  "name": str, "kind": str, "start": int, "end": int, "attrs": {...}?}``
+    **optional** (new in v3): one line per finished span when a
+    :class:`~repro.obs.tracing.Tracer` is paired with the journal.
+    Spans are appended after their run's ``run_end`` line; metric
+    replay skips them, :func:`iter_spans` reads them back.
 
-Version 1 (PR 1 through PR 3) is identical minus the header's ``mem``
-key and the ``alts`` step key; since atomic semantics never emit
-``alts``, a v1 journal is exactly a v2 atomic journal with an older
-header, and the readers here accept both versions.
+Version 2 (PR 4 through PR 5) is v3 minus the optional ``span`` lines;
+version 1 (PR 1 through PR 3) further lacks the header's ``mem`` key
+and the ``alts`` step key.  Since atomic semantics never emit ``alts``
+and spans are optional, every v1/v2 journal is also a valid v3 event
+stream with an older header, and the readers here accept all three
+versions.
+
+**Crash safety.**  A path-owning journal streams to ``<path>.tmp`` and
+atomically renames it over ``<path>`` on :meth:`close` (after flush and
+fsync), so a finished journal is always complete: readers never see a
+half-written file under the final name, and a crash leaves at most a
+stale ``.tmp``.  :func:`verify_journal` inspects any journal file —
+including an orphaned ``.tmp`` — and reports truncated tails and
+unterminated runs instead of raising mid-replay.
 
 Values are JSON-encoded structurally where possible: dataclass register
 records (e.g. ``PrefNum``) become dicts, so a ``[pref, num]`` record
@@ -41,19 +57,20 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import (Any, Dict, Hashable, IO, Iterator, Optional, Sequence,
-                    Tuple, Union)
+import os
+from typing import (Any, Dict, Hashable, IO, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.obs.hooks import BaseSink
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.ops import ReadOp, WriteOp
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Journal versions the readers below understand (v1 = pre-memory-layer
 #: files: no "mem" header key, no "alts" step key, atomic by
-#: construction).
-SUPPORTED_VERSIONS = (1, 2)
+#: construction; v2 = no optional "span" lines).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _jsonable(value: Any) -> Any:
@@ -79,9 +96,11 @@ class JsonlJournal(BaseSink):
     ----------
     target:
         A path to open (truncating) or an already-open text file
-        object.  When given a path the journal owns the handle and
-        :meth:`close` closes it; a passed-in file object stays the
-        caller's responsibility.
+        object.  When given a path the journal owns the handle, streams
+        to ``<path>.tmp``, and :meth:`close` fsyncs and atomically
+        renames the finished file over ``<path>`` — so the final name
+        only ever holds a complete journal.  A passed-in file object
+        stays the caller's responsibility (no rename).
     flush_every:
         Flush the underlying handle every N events (default 1000), so
         a crash of the *host* process loses a bounded suffix.
@@ -99,11 +118,16 @@ class JsonlJournal(BaseSink):
                  flush_every: int = 1000,
                  memory: str = "atomic") -> None:
         if isinstance(target, str):
-            self._fh: IO[str] = open(target, "w")
+            self.path: Optional[str] = target
+            self._tmp_path: Optional[str] = target + ".tmp"
+            self._fh: IO[str] = open(self._tmp_path, "w")
             self._owns_fh = True
         else:
+            self.path = None
+            self._tmp_path = None
             self._fh = target
             self._owns_fh = False
+        self._closed = False
         self._since_flush = 0
         self._flush_every = max(1, flush_every)
         self.events_written = 0
@@ -126,10 +150,36 @@ class JsonlJournal(BaseSink):
             self._since_flush = 0
 
     def close(self) -> None:
-        """Flush and (if owned) close the underlying file."""
+        """Finalize the journal.
+
+        Owned files are flushed, fsynced, closed, and atomically
+        renamed from ``<path>.tmp`` to ``<path>`` — the journal appears
+        under its final name all at once, complete.  Borrowed file
+        objects are only flushed.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._fh.flush()
         if self._owns_fh:
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - non-file targets
+                pass
             self._fh.close()
+            os.replace(self._tmp_path, self.path)
+
+    def append_spans(self, spans: Sequence) -> None:
+        """Write finished :class:`~repro.obs.tracing.Span` records.
+
+        One ``{"t": "span", ...}`` line per span — the v3 optional
+        spans section.  Called by a :class:`~repro.obs.tracing.Tracer`
+        constructed with ``journal=`` at each run's end.
+        """
+        for span in spans:
+            event = {"t": "span"}
+            event.update(span.to_dict())
+            self._write(event)
 
     def __enter__(self) -> "JsonlJournal":
         return self
@@ -219,7 +269,8 @@ def concatenate_journals(shard_paths: Sequence[str], out_path: str) -> int:
     """
     events = 0
     expected_header: Optional[Dict[str, Any]] = None
-    with open(out_path, "w") as out:
+    tmp_path = out_path + ".tmp"
+    with open(tmp_path, "w") as out:
         for path in shard_paths:
             with open(path) as fh:
                 first = fh.readline()
@@ -254,6 +305,11 @@ def concatenate_journals(shard_paths: Sequence[str], out_path: str) -> int:
                 {"t": "journal", "v": SCHEMA_VERSION, "mem": "atomic"},
                 separators=(",", ":"), sort_keys=True) + "\n")
             events += 1
+        out.flush()
+        os.fsync(out.fileno())
+    # Same finalization contract as JsonlJournal.close: the stitched
+    # journal appears under its final name complete or not at all.
+    os.replace(tmp_path, out_path)
     return events
 
 
@@ -334,6 +390,145 @@ def replay_journal(path: str,
                 sched_consults=consults,
                 crashed=frozenset(event.get("crashed", ())),
             ))
+        elif kind == "span":
+            # v3 optional spans section: identity/timing metadata, not
+            # kernel events — metric replay skips them (iter_spans
+            # reads them back).
+            continue
         else:
             raise ValueError(f"unknown journal event type {kind!r}")
     return reg
+
+
+def iter_spans(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield the journal's ``span`` records (v3 optional section)."""
+    for event in iter_events(path):
+        if event.get("t") == "span":
+            yield event
+
+
+# -- integrity verification -------------------------------------------
+
+
+@dataclasses.dataclass
+class JournalVerdict:
+    """What :func:`verify_journal` found.
+
+    ``ok`` means the file is a complete journal: valid header, every
+    line parseable, no unterminated run.  A truncated tail (the
+    mid-line fragment a crashed writer leaves) sets ``truncated`` and
+    counts the preceding good lines; a ``run_start`` with no matching
+    ``run_end`` sets ``open_runs``.  ``problems`` collects one
+    human-readable line per defect.
+    """
+
+    path: str
+    ok: bool
+    version: Optional[int]
+    memory: Optional[str]
+    events: int
+    runs: int
+    spans: int
+    open_runs: int
+    truncated: bool
+    problems: List[str]
+
+    def render(self) -> str:
+        status = "OK" if self.ok else "DAMAGED"
+        lines = [
+            f"{self.path}: {status}",
+            f"  version:  {self.version} (mem={self.memory})",
+            f"  events:   {self.events} ({self.runs} complete runs, "
+            f"{self.spans} spans)",
+        ]
+        for problem in self.problems:
+            lines.append(f"  problem:  {problem}")
+        return "\n".join(lines)
+
+
+def verify_journal(path: str) -> JournalVerdict:
+    """Inspect a journal file for truncation and structural damage.
+
+    Unlike :func:`replay_journal` this never raises on a damaged file:
+    it reads as far as the bytes allow and reports what it found, so a
+    crashed writer's partial output (or an orphaned ``.tmp``) can be
+    triaged — and everything before the damage is still known-good.
+    """
+    problems: List[str] = []
+    version: Optional[int] = None
+    memory: Optional[str] = None
+    events = 0
+    runs = 0
+    spans = 0
+    in_run = False
+    open_runs = 0
+    truncated = False
+    known = {"journal", "run_start", "step", "crash", "run_end", "span"}
+    try:
+        fh = open(path)
+    except OSError as exc:
+        return JournalVerdict(
+            path=path, ok=False, version=None, memory=None, events=0,
+            runs=0, spans=0, open_runs=0, truncated=False,
+            problems=[f"unreadable: {exc}"],
+        )
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if not line.endswith("\n"):
+                # A writer died mid-line: the fragment is not an event.
+                truncated = True
+                problems.append(
+                    f"line {lineno}: truncated tail (no newline)")
+                break
+            try:
+                event = json.loads(stripped)
+            except ValueError:
+                truncated = True
+                problems.append(
+                    f"line {lineno}: unparseable JSON tail")
+                break
+            kind = event.get("t") if isinstance(event, dict) else None
+            if lineno == 1:
+                if kind != "journal":
+                    problems.append("line 1: missing journal header")
+                else:
+                    version = event.get("v")
+                    memory = event.get("mem",
+                                       "atomic" if version == 1 else None)
+                    if version not in SUPPORTED_VERSIONS:
+                        problems.append(
+                            f"line 1: unsupported version {version!r}")
+                events += 1
+                continue
+            events += 1
+            if kind == "run_start":
+                if in_run:
+                    open_runs += 1
+                    problems.append(
+                        f"line {lineno}: run_start inside an open run")
+                in_run = True
+            elif kind == "run_end":
+                if not in_run:
+                    problems.append(
+                        f"line {lineno}: run_end without run_start")
+                else:
+                    runs += 1
+                in_run = False
+            elif kind == "span":
+                spans += 1
+            elif kind not in known:
+                problems.append(
+                    f"line {lineno}: unknown event type {kind!r}")
+    if events == 0:
+        problems.append("empty file")
+    if in_run:
+        open_runs += 1
+        problems.append("unterminated run (run_start without run_end)")
+    return JournalVerdict(
+        path=path, ok=not problems, version=version, memory=memory,
+        events=events, runs=runs, spans=spans, open_runs=open_runs,
+        truncated=truncated, problems=problems,
+    )

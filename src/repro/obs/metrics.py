@@ -83,9 +83,14 @@ class Histogram:
 
     Stores ``value -> count``; the event domains here (steps, flips,
     ``num`` depths) are small non-negative integers, so exact counts
-    are cheaper and more faithful than bucketed approximations, and
-    percentiles are computed by a cumulative walk (nearest-rank, the
-    same convention as :func:`repro.analysis.stats.percentile`).
+    are cheaper and more faithful than bucketed approximations.
+    Percentiles interpolate linearly between the closest order
+    statistics (the ``h = (n-1)q`` convention), which is deterministic
+    and well-defined at every sample size — p99 of three samples is a
+    clamped interpolation toward the maximum, not a KeyError and not
+    silently the maximum itself.  (The batch-statistics helper
+    :func:`repro.analysis.stats.percentile` keeps its nearest-rank
+    convention; the two agree at large N and on exact ranks.)
     """
 
     __slots__ = ("counts", "total", "_sum")
@@ -112,28 +117,53 @@ class Histogram:
     def maximum(self) -> Optional[int]:
         return max(self.counts) if self.counts else None
 
-    def percentile(self, q: float) -> Optional[int]:
-        """Nearest-rank percentile, ``0 < q <= 1``."""
-        if not self.total:
+    def percentile(self, q: float) -> Optional[float]:
+        """Linearly interpolated percentile, ``0 <= q <= 1``.
+
+        The fractional rank ``h = (total - 1) * q`` (clamped into the
+        sample) sits between order statistics ``x[floor(h)]`` and
+        ``x[ceil(h)]``; the result interpolates between them and
+        collapses to a plain int when the interpolation is exact (the
+        common case for repeated small-integer samples).  N=1 returns
+        the sample; every q is total-order deterministic.
+        """
+        total = self.total
+        if not total:
             return None
-        rank = min(self.total, max(1, math.ceil(q * self.total)))
+        h = (total - 1) * min(1.0, max(0.0, q))
+        lo_rank = math.floor(h)
+        frac = h - lo_rank
+        # Cumulative walk to the order statistics at lo_rank and
+        # lo_rank + 1 (0-indexed ranks over the sorted pooled sample).
+        lo_val: Optional[int] = None
+        hi_val: Optional[int] = None
         seen = 0
         for value in sorted(self.counts):
             seen += self.counts[value]
-            if seen >= rank:
-                return value
-        return max(self.counts)  # pragma: no cover - defensive
+            if lo_val is None and seen >= lo_rank + 1:
+                lo_val = value
+            if seen >= lo_rank + 2 or (frac == 0.0 and lo_val is not None):
+                hi_val = value if frac else lo_val
+                break
+        if lo_val is None:  # pragma: no cover - defensive
+            lo_val = max(self.counts)
+        if hi_val is None:
+            hi_val = max(self.counts)
+        if frac == 0.0 or hi_val == lo_val:
+            return lo_val
+        x = lo_val + (hi_val - lo_val) * frac
+        return int(x) if x == int(x) else x
 
     @property
-    def p50(self) -> Optional[int]:
+    def p50(self) -> Optional[float]:
         return self.percentile(0.50)
 
     @property
-    def p90(self) -> Optional[int]:
+    def p90(self) -> Optional[float]:
         return self.percentile(0.90)
 
     @property
-    def p99(self) -> Optional[int]:
+    def p99(self) -> Optional[float]:
         return self.percentile(0.99)
 
     def tail_probability(self, k: int) -> Optional[float]:

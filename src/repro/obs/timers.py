@@ -14,6 +14,11 @@ Phases emitted by the kernel:
 ``step``        one :meth:`Simulation.step_processor` execution
 ``transition``  the protocol-automaton part of a step
                 (``branches`` + ``observe``), a subset of ``step``
+``memory``      weak-memory value resolution inside a step (legal-set
+                computation, adversary consultation, write
+                installation); a subset of ``step``, disjoint from
+                ``transition``, and never emitted under atomic
+                semantics (atomic register access is plain kernel work)
 """
 
 from __future__ import annotations

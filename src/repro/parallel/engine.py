@@ -36,14 +36,17 @@ start-up and is measurably faster for short batches.
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
 import multiprocessing
 import os
 import pickle
-from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+import queue as queue_module
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.obs.journal import JsonlJournal, concatenate_journals
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryEmitter, file_sink
 from repro.sim.memory import ATOMIC, MemorySpec
 
 
@@ -77,6 +80,14 @@ class ShardTask:
     max_steps: int
     with_metrics: bool
     journal_path: Optional[str] = None
+    #: Position of this shard in the batch plan (heartbeat identity).
+    shard_index: int = 0
+    #: Anything with a ``put(dict)`` method — a ``multiprocessing``
+    #: manager queue proxy in sharded sweeps (proxies pickle), or the
+    #: in-process :class:`_FileChannel` — receiving live heartbeat
+    #: dicts (see :mod:`repro.obs.telemetry`).  ``None`` disables
+    #: telemetry for the shard.
+    telemetry_queue: Optional[Any] = None
 
 
 @dataclasses.dataclass
@@ -139,14 +150,62 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         fast=task.spec.fast,
         memory=task.spec.memory,
     )
-    runs = [RunStats.from_result(i, runner.run_one(i, task.max_steps))
-            for i in range(task.start, task.stop)]
+    emitter = None
+    if task.telemetry_queue is not None:
+        emitter = TelemetryEmitter(task.shard_index, task.stop - task.start,
+                                   task.telemetry_queue.put)
+    runs = []
+    for i in range(task.start, task.stop):
+        result = runner.run_one(i, task.max_steps)
+        runs.append(RunStats.from_result(i, result))
+        if emitter is not None:
+            emitter.record_run(result.total_steps)
+    if emitter is not None:
+        emitter.finish()
     events = 0
     if journal is not None:
         events = journal.events_written
         journal.close()
     return ShardResult(start=task.start, stop=task.stop, runs=runs,
                        metrics=registry, journal_events=events)
+
+
+class _FileChannel:
+    """In-process stand-in for the manager queue: ``put`` appends JSONL.
+
+    Used on the no-pool path (one shard, or ``workers == 1``) so the
+    shard code is identical either way — it just calls ``put``.
+    """
+
+    def __init__(self, fh) -> None:
+        self._sink = file_sink(fh)
+
+    def put(self, d) -> None:
+        self._sink(d)
+
+
+def _drain_heartbeats(beats, fh, async_result) -> None:
+    """Stream heartbeat dicts off the queue into the telemetry file.
+
+    Runs in the parent while the pool works; returns once the pool is
+    done *and* the queue is empty, so the file always ends with every
+    shard's final ``done`` beat.
+    """
+    def _append(d) -> None:
+        fh.write(json.dumps(d, sort_keys=True) + "\n")
+        fh.flush()
+
+    while True:
+        try:
+            _append(beats.get(timeout=0.05))
+        except queue_module.Empty:
+            if async_result.ready():
+                break
+    while True:
+        try:
+            _append(beats.get_nowait())
+        except queue_module.Empty:
+            break
 
 
 def _check_picklable(spec: BatchSpec) -> None:
@@ -169,6 +228,7 @@ def run_parallel(
     workers: int,
     shard_size: Optional[int] = None,
     journal_path: Optional[str] = None,
+    telemetry_path: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
     mp_context: str = "spawn",
 ):
@@ -187,6 +247,13 @@ def run_parallel(
         Final path of the batch journal.  Each shard streams to
         ``<journal_path>.shard<k>``; the shards are concatenated (one
         header, shard order) into ``journal_path`` and removed.
+    telemetry_path:
+        Live-progress JSONL file (see :mod:`repro.obs.telemetry`).
+        Workers push per-shard heartbeats over a manager queue; the
+        parent appends them here while the pool runs, so ``repro top
+        <path>`` follows the sweep from another terminal.  Heartbeats
+        carry wall-clock rates — the file differs between repeats of
+        the same seeded sweep even though the returned stats do not.
     mp_context:
         ``multiprocessing`` start method.  ``"spawn"`` (default) works
         everywhere; ``"fork"`` is faster where available.
@@ -212,19 +279,44 @@ def run_parallel(
             with_metrics=with_metrics,
             journal_path=(shard_journal_path(journal_path, k)
                           if journal_path is not None else None),
+            shard_index=k,
         )
         for k, (start, stop) in enumerate(shards)
     ]
 
-    if not tasks:
-        results: List[ShardResult] = []
-    elif len(tasks) == 1 or workers == 1:
-        # Nothing to parallelize; run in-process, same code path.
-        results = [_execute_shard(t) for t in tasks]
-    else:
-        ctx = multiprocessing.get_context(mp_context)
-        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-            results = pool.map(_execute_shard, tasks)
+    telemetry_fh = open(telemetry_path, "w") \
+        if telemetry_path is not None else None
+    try:
+        if not tasks:
+            results: List[ShardResult] = []
+        elif len(tasks) == 1 or workers == 1:
+            # Nothing to parallelize; run in-process, same code path.
+            if telemetry_fh is not None:
+                channel = _FileChannel(telemetry_fh)
+                tasks = [dataclasses.replace(t, telemetry_queue=channel)
+                         for t in tasks]
+            results = [_execute_shard(t) for t in tasks]
+        else:
+            ctx = multiprocessing.get_context(mp_context)
+            if telemetry_fh is None:
+                with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+                    results = pool.map(_execute_shard, tasks)
+            else:
+                # Heartbeats cross process boundaries over a manager
+                # queue; the parent streams them to the telemetry file
+                # while the pool works.
+                with ctx.Manager() as manager:
+                    beats = manager.Queue()
+                    tasks = [dataclasses.replace(t, telemetry_queue=beats)
+                             for t in tasks]
+                    with ctx.Pool(
+                            processes=min(workers, len(tasks))) as pool:
+                        pending = pool.map_async(_execute_shard, tasks)
+                        _drain_heartbeats(beats, telemetry_fh, pending)
+                        results = pending.get()
+    finally:
+        if telemetry_fh is not None:
+            telemetry_fh.close()
 
     runs = [r for shard in results for r in shard.runs]
     if with_metrics:

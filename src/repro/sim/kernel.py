@@ -808,23 +808,38 @@ class Simulation:
         else:
             raise ProtocolError(f"unknown operation {op!r}")
 
+        # The ``memory`` phase times weak-memory value resolution (legal
+        # sets, adversary consultation, write installation into the
+        # model).  Atomic semantics do no resolution, so the phase is
+        # only emitted — and only costs clock reads — off the atomic
+        # path; atomic runs attribute register access to ``kernel``.
+        t_mem = 0.0
         if is_read:
             if atomic:
                 result: Hashable = memory.values[slot]
                 if forced is not None:
                     self._check_forced_atomic(forced, True, result)
             else:
+                t2 = perf_counter() if timing else 0.0
                 choices = memory.read_choices(slot)
                 if len(choices) == 1 and forced is None:
                     result = choices[0]
                 else:
                     result = self._resolve_read(
                         pid, op.register, choices, forced)
+                if timing:
+                    t_mem = perf_counter() - t2
             obs.read(pid, op.register, result)
         else:
             if forced is not None:
                 self._check_forced_atomic(forced, False, None)
-            memory.write(pid, slot, value)
+            if atomic:
+                memory.write(pid, slot, value)
+            else:
+                t2 = perf_counter() if timing else 0.0
+                memory.write(pid, slot, value)
+                if timing:
+                    t_mem = perf_counter() - t2
             result = None
             obs.write(pid, op.register, value)
 
@@ -860,6 +875,8 @@ class Simulation:
         if self.trace is not None:
             self.trace.append(record)
         if timing:
+            if not atomic:
+                obs.phase_time("memory", t_mem)
             obs.phase_time("transition", t_trans)
             obs.phase_time("step", perf_counter() - t_step)
         return record

@@ -266,7 +266,17 @@ class ExperimentRunner:
         Sinks never perturb the run itself: the kernel's coin streams
         are independent of observation, so results are bit-identical
         with and without instrumentation.
+
+        Before the kernel's ``on_run_start``, every sink implementing
+        ``on_run_key`` receives ``(root_seed, run_index)`` — the
+        coordinates that replay this exact run, and the input from
+        which the span tracer derives its deterministic trace ids.
         """
+        effective_sinks = self._sinks if sinks is None else sinks
+        for sink in effective_sinks:
+            run_key = getattr(sink, "on_run_key", None)
+            if run_key is not None:
+                run_key(self._seed, run_index)
         rng = ReplayableRng(self._seed).child("run", run_index)
         protocol = self._protocol_factory()
         scheduler = self._scheduler_factory(rng.child("sched"))
@@ -298,6 +308,7 @@ class ExperimentRunner:
         workers: int = 1,
         shard_size: Optional[int] = None,
         journal_path: Optional[str] = None,
+        telemetry_path: Optional[str] = None,
         mp_context: str = "spawn",
     ) -> BatchStats:
         """Execute ``n_runs`` independent runs and aggregate.
@@ -322,6 +333,11 @@ class ExperimentRunner:
         ``journal_path`` streams a batch-spanning JSONL journal to that
         path in either mode; the finished path and its event count are
         reported on the returned stats.
+
+        ``telemetry_path`` streams live progress heartbeats (JSONL, one
+        per ~1% of each shard — see :mod:`repro.obs.telemetry`) to that
+        path in either mode; follow it live with ``repro top``.
+        Heartbeats carry wall-clock rates and never affect results.
         """
         if workers > 1:
             from repro.parallel.engine import BatchSpec, run_parallel
@@ -348,8 +364,8 @@ class ExperimentRunner:
             return run_parallel(
                 spec, n_runs, max_steps,
                 workers=workers, shard_size=shard_size,
-                journal_path=journal_path, registry=self.metrics,
-                mp_context=mp_context,
+                journal_path=journal_path, telemetry_path=telemetry_path,
+                registry=self.metrics, mp_context=mp_context,
             )
 
         journal = None
@@ -359,15 +375,27 @@ class ExperimentRunner:
 
             journal = JsonlJournal(journal_path, memory=self._memory.name)
             sinks = self._sinks + (journal,)
+        telemetry_fh = None
+        emitter = None
+        if telemetry_path is not None:
+            from repro.obs.telemetry import TelemetryEmitter, file_sink
+
+            telemetry_fh = open(telemetry_path, "w")
+            emitter = TelemetryEmitter(0, n_runs, file_sink(telemetry_fh))
         try:
-            runs = [
-                RunStats.from_result(i, self.run_one(i, max_steps,
-                                                     sinks=sinks))
-                for i in range(n_runs)
-            ]
+            runs = []
+            for i in range(n_runs):
+                result = self.run_one(i, max_steps, sinks=sinks)
+                runs.append(RunStats.from_result(i, result))
+                if emitter is not None:
+                    emitter.record_run(result.total_steps)
+            if emitter is not None:
+                emitter.finish()
         finally:
             if journal is not None:
                 journal.close()
+            if telemetry_fh is not None:
+                telemetry_fh.close()
         return BatchStats(
             runs=runs,
             max_steps=max_steps,

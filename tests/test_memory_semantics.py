@@ -519,7 +519,7 @@ class TestJournalV2:
         path = tmp_path / "run.jsonl"
         self._journaled_run(path, "regular")
         lines = [json.loads(l) for l in path.read_text().splitlines()]
-        assert lines[0] == {"t": "journal", "v": 2, "mem": "regular"}
+        assert lines[0] == {"t": "journal", "v": 3, "mem": "regular"}
         alts = [l for l in lines if l.get("alts")]
         assert alts, "an adversarial regular run must hit contended reads"
         assert all(l["op"] == "read" and l["alts"] >= 2 for l in alts)
@@ -532,7 +532,7 @@ class TestJournalV2:
         assert replayed.counters["read_choice_points"].value > 0
 
     def test_v1_journal_still_readable(self, tmp_path):
-        assert SUPPORTED_VERSIONS == (1, 2)
+        assert SUPPORTED_VERSIONS == (1, 2, 3)
         path = tmp_path / "v1.jsonl"
         lines = [
             {"t": "journal", "v": 1},

@@ -1,0 +1,246 @@
+"""Exporter round-trips: Prometheus text, OTLP JSON, folded stacks.
+
+Every emitter is checked against its own strict parser — an export
+format is only trustworthy if independent re-parsing reconstructs the
+data — and the Prometheus/folded parsers are themselves tested against
+malformed input, so a regression in either side trips something.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.two_process import TwoProcessProtocol
+from repro.obs.export import (
+    folded_stacks,
+    otlp_json,
+    otlp_json_text,
+    parse_folded,
+    parse_prometheus,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import TimeAttributionProfiler
+from repro.obs.tracing import Tracer
+from repro.sched.simple import RandomScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+def batch_registry(n_runs=12, seed=5):
+    """A registry populated by a real seeded batch."""
+    registry = MetricsRegistry()
+    runner = ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(),
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=seed,
+        sinks=(registry,),
+    )
+    runner.run_many(n_runs, max_steps=4000)
+    return registry
+
+
+def traced_run(seed=11):
+    tracer = Tracer()
+    runner = ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(),
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=seed,
+        sinks=(tracer,),
+    )
+    runner.run_one(0, max_steps=4000)
+    return tracer.trace()
+
+
+class TestPrometheus:
+    def test_round_trips_through_strict_parser(self):
+        registry = batch_registry()
+        parsed = parse_prometheus(prometheus_text(registry))
+        assert parsed["types"]  # non-empty export
+        # Every native metric appears under its prefixed name.
+        names = {name for name, _, _ in parsed["samples"]}
+        for counter in registry.counters:
+            assert f"repro_{counter}_total" in names
+        for hist in registry.histograms:
+            assert f"repro_{hist}_count" in names
+
+    def test_counter_and_gauge_values_survive(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(7)
+        registry.gauge("last_rate").set(2.5)
+        parsed = parse_prometheus(prometheus_text(registry))
+        samples = {name: value for name, _, value in parsed["samples"]}
+        assert samples["repro_runs_total"] == 7
+        assert samples["repro_last_rate"] == 2.5
+        assert parsed["types"]["repro_runs_total"] == "counter"
+        assert parsed["types"]["repro_last_rate"] == "gauge"
+
+    def test_unset_gauge_exports_nan(self):
+        registry = MetricsRegistry()
+        registry.gauge("idle")
+        parsed = parse_prometheus(prometheus_text(registry))
+        (value,) = [v for n, _, v in parsed["samples"]
+                    if n == "repro_idle"]
+        assert math.isnan(value)
+
+    def test_histogram_buckets_reconstruct_exact_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("steps")
+        for x in (3, 3, 5, 9, 9, 9):
+            hist.observe(x)
+        parsed = parse_prometheus(prometheus_text(registry))
+        buckets = [(labels["le"], value)
+                   for name, labels, value in parsed["samples"]
+                   if name == "repro_steps_bucket"]
+        # Cumulative series over the distinct observed values + Inf.
+        assert buckets == [("3", 2.0), ("5", 3.0), ("9", 6.0),
+                           ("+Inf", 6.0)]
+        samples = {name: value for name, _, value in parsed["samples"]}
+        assert samples["repro_steps_sum"] == 3 + 3 + 5 + 9 + 9 + 9
+        assert samples["repro_steps_count"] == 6
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-with chars").inc()
+        parsed = parse_prometheus(prometheus_text(registry))
+        assert "repro_weird_name_with_chars_total" in parsed["types"]
+
+    def test_parser_rejects_malformed_input(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_prometheus("# TYPE too many words here now\n")
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus("# TYPE x summary\n")
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("not a metric line at all\n")
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus('x{le=unquoted} 1\n')
+
+    def test_parser_enforces_histogram_invariants(self):
+        non_cumulative = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 8\nh_count 5\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus(non_cumulative)
+        inf_mismatch = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 3\nh_count 4\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus(inf_mismatch)
+
+
+class TestOtlp:
+    def test_span_document_shape(self):
+        spans = traced_run()
+        doc = otlp_json(spans=spans)
+        assert set(doc) == {"resourceSpans"}
+        scope = doc["resourceSpans"][0]["scopeSpans"][0]
+        assert scope["scope"]["name"] == "repro.obs"
+        assert len(scope["spans"]) == len(spans)
+        by_id = {s.span_id: s for s in spans}
+        for entry in scope["spans"]:
+            span = by_id[entry["spanId"]]
+            assert entry["traceId"] == span.trace_id
+            assert entry["name"] == span.name
+            # Logical steps scaled into OTLP's nanosecond fields.
+            assert entry["startTimeUnixNano"] == str(span.start * 1000)
+            assert entry["endTimeUnixNano"] == str(span.end * 1000)
+            if span.parent_id:
+                assert entry["parentSpanId"] == span.parent_id
+            else:
+                assert "parentSpanId" not in entry
+
+    def test_attribute_values_typed(self):
+        spans = traced_run()
+        doc = otlp_json(spans=spans, time_unit_ns=500)
+        entries = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        run = [e for e in entries if e["name"] == "run"][0]
+        attrs = {a["key"]: a["value"] for a in run["attributes"]}
+        # ints become stringified intValue, strings stringValue.
+        assert "intValue" in attrs["root_seed"]
+        assert "stringValue" in attrs["protocol"]
+        assert run["startTimeUnixNano"] == "0"
+
+    def test_metrics_document_shape(self):
+        registry = batch_registry(n_runs=6)
+        doc = otlp_json(registry=registry)
+        metrics = doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"]
+        by_name = {m["name"]: m for m in metrics}
+        runs = by_name["runs"]["sum"]
+        assert runs["isMonotonic"] is True
+        assert runs["dataPoints"][0]["asInt"] == "6"
+        steps = by_name["run_steps"]["histogram"]["dataPoints"][0]
+        assert int(steps["count"]) == 6
+        assert len(steps["explicitBounds"]) == len(steps["bucketCounts"])
+        counts = [int(c) for c in steps["bucketCounts"]]
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+    def test_text_serialization_is_stable_json(self):
+        spans = traced_run()
+        registry = batch_registry(n_runs=3)
+        text = otlp_json_text(registry=registry, spans=spans)
+        assert json.loads(text) == otlp_json(registry=registry,
+                                             spans=spans)
+        # Stable output: same inputs, same bytes.
+        assert text == otlp_json_text(registry=registry, spans=spans)
+
+
+class TestFolded:
+    def test_round_trips_through_strict_parser(self):
+        stacks = [
+            (("two", "random", "atomic", "scheduler"), 0.0042),
+            (("two", "random", "atomic", "kernel"), 0.001),
+            (("three", "fixed", "safe", "memory"), 2e-6),
+        ]
+        parsed = parse_folded(folded_stacks(stacks))
+        assert parsed == [
+            (("two", "random", "atomic", "scheduler"), 4200),
+            (("two", "random", "atomic", "kernel"), 1000),
+            (("three", "fixed", "safe", "memory"), 2),
+        ]
+
+    def test_zero_microsecond_stacks_dropped(self):
+        text = folded_stacks([(("a", "b"), 0.0), (("a", "c"), 4e-7)])
+        assert text == ""
+        assert parse_folded(text) == []
+
+    def test_delimiter_frames_rejected(self):
+        with pytest.raises(ValueError, match="delimiter"):
+            folded_stacks([(("a;b",), 1.0)])
+        with pytest.raises(ValueError, match="delimiter"):
+            folded_stacks([(("a b",), 1.0)])
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_folded("a;b 1.5\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_folded("loneframe\n")
+        with pytest.raises(ValueError, match="empty frame"):
+            parse_folded("a;;b 3\n")
+
+    def test_profiler_stacks_feed_folded_export(self):
+        profiler = TimeAttributionProfiler(("two", "random", "atomic"))
+        runner = ExperimentRunner(
+            protocol_factory=lambda: TwoProcessProtocol(),
+            scheduler_factory=lambda rng: RandomScheduler(rng),
+            inputs_factory=lambda i, rng: ("a", "b"),
+            seed=3,
+            sinks=(profiler,),
+        )
+        runner.run_many(5, max_steps=4000)
+        parsed = parse_folded(folded_stacks(profiler.stacks()))
+        assert parsed, "a profiled batch must attribute some time"
+        for frames, us in parsed:
+            assert frames[:3] == ("two", "random", "atomic")
+            assert us > 0

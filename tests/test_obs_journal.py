@@ -13,6 +13,7 @@ from repro.obs.journal import (
     JsonlJournal,
     iter_events,
     replay_journal,
+    verify_journal,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.sched.crash import CrashingScheduler, CrashPlan
@@ -157,3 +158,112 @@ class TestReplayParity:
             sim.run(4000)
         assert journal._fh.closed
         assert list(iter_events(path))
+
+
+class TestCrashSafeFinalization:
+    """The tmp-file + atomic-rename contract of path-owning journals."""
+
+    def test_final_name_appears_only_on_close(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        journal = JsonlJournal(str(path))
+        rng = ReplayableRng(3)
+        sim = Simulation(TwoProcessProtocol(), ("a", "b"),
+                         RandomScheduler(rng.child("sched")),
+                         rng.child("kernel"), sinks=(journal,))
+        sim.run(4000)
+        # Mid-write: only the .tmp exists; the final name never holds
+        # a partial journal.
+        assert not path.exists()
+        assert path.with_suffix(".jsonl.tmp").exists()
+        journal.close()
+        assert path.exists()
+        assert not path.with_suffix(".jsonl.tmp").exists()
+        assert list(iter_events(str(path)))
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JsonlJournal(path)
+        journal.close()
+        journal.close()  # second close must not re-rename or raise
+        assert list(iter_events(path)) == []
+
+    def test_borrowed_handle_not_renamed(self, tmp_path):
+        path = tmp_path / "borrowed.jsonl"
+        with open(path, "w") as fh:
+            journal = JsonlJournal(fh)
+            journal.close()
+            assert not fh.closed  # caller keeps ownership
+        assert not path.with_suffix(".jsonl.tmp").exists()
+        assert list(iter_events(str(path))) == []
+
+
+class TestVerifyJournal:
+    def complete_journal(self, tmp_path, n_runs=3):
+        path, _, _ = journaled_batch(
+            tmp_path, lambda: TwoProcessProtocol(), ("a", "b"),
+            n_runs=n_runs)
+        return path
+
+    def test_complete_journal_verifies_ok(self, tmp_path):
+        verdict = verify_journal(self.complete_journal(tmp_path))
+        assert verdict.ok
+        assert verdict.version == SCHEMA_VERSION
+        assert verdict.memory == "atomic"
+        assert verdict.runs == 3
+        assert verdict.open_runs == 0
+        assert not verdict.truncated
+        assert verdict.problems == []
+        assert "OK" in verdict.render()
+
+    def test_truncated_tail_detected_not_raised(self, tmp_path):
+        path = self.complete_journal(tmp_path)
+        with open(path) as fh:
+            text = fh.read()
+        cut = tmp_path / "cut.jsonl"
+        # A writer that died mid-line leaves a no-newline fragment.
+        cut.write_text(text + '{"t":"step","i":')
+        verdict = verify_journal(str(cut))
+        assert not verdict.ok
+        assert verdict.truncated
+        assert verdict.runs == 3  # everything before the damage counts
+        assert any("truncated tail" in p for p in verdict.problems)
+        assert "DAMAGED" in verdict.render()
+
+    def test_unterminated_run_detected(self, tmp_path):
+        orphan = tmp_path / "orphan.jsonl"
+        orphan.write_text(
+            '{"t":"journal","v":3,"mem":"atomic"}\n'
+            '{"t":"run_start","protocol":"two","n":2,"inputs":["a","b"]}\n'
+        )
+        verdict = verify_journal(str(orphan))
+        assert not verdict.ok
+        assert verdict.open_runs == 1
+        assert verdict.runs == 0
+        assert any("unterminated run" in p for p in verdict.problems)
+
+    def test_missing_header_and_empty_file(self, tmp_path):
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text('{"t":"step"}\n')
+        verdict = verify_journal(str(headless))
+        assert not verdict.ok
+        assert any("missing journal header" in p for p in verdict.problems)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert not verify_journal(str(empty)).ok
+        missing = verify_journal(str(tmp_path / "nope.jsonl"))
+        assert not missing.ok
+        assert any("unreadable" in p for p in missing.problems)
+
+    def test_v1_journal_defaults_atomic(self, tmp_path):
+        v1 = tmp_path / "v1.jsonl"
+        v1.write_text(
+            '{"t":"journal","v":1}\n'
+            '{"t":"run_start","protocol":"two","n":2,"inputs":["a","b"]}\n'
+            '{"t":"run_end","completed":true,"steps":1,"consults":1,'
+            '"crashed":[]}\n'
+        )
+        verdict = verify_journal(str(v1))
+        assert verdict.ok
+        assert verdict.version == 1
+        assert verdict.memory == "atomic"
+        assert verdict.runs == 1

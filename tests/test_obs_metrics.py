@@ -46,17 +46,68 @@ class TestInstruments:
         a.merge(b)
         assert a.minimum == 2 and a.maximum == 9
 
-    def test_histogram_percentiles_match_nearest_rank(self):
-        from repro.analysis.stats import percentile
-
+    def test_histogram_percentiles_interpolate(self):
+        # Linear interpolation between order statistics: the fractional
+        # rank h = (n-1)q sits between x[floor(h)] and x[ceil(h)].
         h = Histogram()
         data = [1, 1, 2, 3, 5, 8, 13, 21, 34, 55]
         for x in data:
             h.observe(x)
-        for q in (0.5, 0.9, 0.99):
-            assert h.percentile(q) == percentile(sorted(data), q)
+        assert h.p50 == 6.5          # between x[4]=5 and x[5]=8
+        assert h.p90 == pytest.approx(36.1)    # 34 + 0.1 * (55 - 34)
+        assert h.p99 == pytest.approx(53.11)   # 34 + 0.91 * (55 - 34)
         assert h.mean == pytest.approx(sum(data) / len(data))
         assert h.minimum == 1 and h.maximum == 55
+
+    def test_histogram_percentile_small_n_pins(self):
+        # Regression pins for the small-N behavior: every percentile is
+        # defined and deterministic down to a single sample.
+        h1 = Histogram()
+        h1.observe(5)
+        assert (h1.p50, h1.p90, h1.p99) == (5, 5, 5)
+
+        h2 = Histogram()
+        for x in (1, 3):
+            h2.observe(x)
+        assert h2.p50 == 2
+        assert h2.p90 == pytest.approx(2.8)
+        assert h2.p99 == pytest.approx(2.98)
+
+        h3 = Histogram()
+        for x in (10, 1, 2):  # insertion order must not matter
+            h3.observe(x)
+        assert h3.p50 == 2
+        assert h3.p90 == pytest.approx(8.4)
+        assert h3.p99 == pytest.approx(9.84)
+
+    def test_histogram_percentile_edges_and_int_collapse(self):
+        h = Histogram()
+        for x in (1, 2, 3, 4, 5):
+            h.observe(x)
+        # q clamps into [0, 1]; extremes hit min/max exactly.
+        assert h.percentile(0.0) == 1 and h.percentile(1.0) == 5
+        assert h.percentile(-1.0) == 1 and h.percentile(2.0) == 5
+        # Exact ranks collapse to plain ints (p50 of odd N is x[(n-1)/2]).
+        assert h.p50 == 3 and isinstance(h.p50, int)
+        # Interpolation landing on an integer also collapses.
+        assert h.percentile(0.625) == 3.5  # h=2.5 between 3 and 4
+        h2 = Histogram()
+        for x in (2, 4):
+            h2.observe(x)
+        assert h2.p50 == 3 and isinstance(h2.p50, int)
+
+    def test_histogram_percentiles_match_nearest_rank_on_exact_ranks(self):
+        # The two conventions in the repo (Histogram interpolation,
+        # analysis.stats nearest-rank) agree wherever (n-1)q is an
+        # integer rank — e.g. every decile of 101 samples.
+        from repro.analysis.stats import percentile
+
+        h = Histogram()
+        data = list(range(1, 102))
+        for x in data:
+            h.observe(x)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.9, 1.0):
+            assert h.percentile(q) == percentile(data, q)
 
     def test_histogram_empty(self):
         h = Histogram()

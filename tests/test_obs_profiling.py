@@ -1,0 +1,138 @@
+"""Time-attribution profiler tests: tiling, merging, matrix sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.three_bounded import ThreeBoundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.obs.profiling import (
+    COMPONENTS,
+    TimeAttributionProfiler,
+    matrix_stacks,
+    profile_matrix,
+)
+from repro.sched.simple import RandomScheduler, RoundRobinScheduler
+from repro.sim.runner import ExperimentRunner
+
+
+def profiled_batch(frames=("two", "random", "atomic"), memory=None,
+                   n_runs=5, seed=13):
+    profiler = TimeAttributionProfiler(frames)
+    runner = ExperimentRunner(
+        protocol_factory=lambda: TwoProcessProtocol(),
+        scheduler_factory=lambda rng: RandomScheduler(rng),
+        inputs_factory=lambda i, rng: ("a", "b"),
+        seed=seed,
+        memory=memory,
+        sinks=(profiler,),
+    )
+    runner.run_many(n_runs, max_steps=4000)
+    return profiler
+
+
+class TestAttribution:
+    def test_components_tile_the_run(self):
+        profiler = profiled_batch()
+        comps = profiler.components()
+        assert set(comps) == set(COMPONENTS)
+        assert all(v >= 0.0 for v in comps.values())
+        # sched and step were measured directly; both must show up.
+        assert comps["scheduler"] > 0
+        assert comps["transition"] > 0
+        # The five components tile measured wall time: the two derived
+        # ones are residuals of the measured phases, so the sum equals
+        # run_seconds up to clamp jitter at clock granularity.
+        assert sum(comps.values()) == pytest.approx(
+            profiler.run_seconds, rel=1e-3, abs=1e-4)
+
+    def test_memory_component_zero_under_atomic(self):
+        assert profiled_batch().components()["memory"] == 0.0
+
+    def test_memory_component_positive_under_weak_semantics(self):
+        profiler = profiled_batch(
+            frames=("two", "random", "safe"), memory="safe")
+        assert profiler.components()["memory"] > 0.0
+        assert profiler.phase_counts["memory"] > 0
+
+    def test_stacks_prefix_frames_and_drop_zeros(self):
+        profiler = profiled_batch()
+        rows = profiler.stacks()
+        assert rows
+        names = set()
+        for frames, seconds in rows:
+            assert frames[:3] == ("two", "random", "atomic")
+            assert seconds > 0.0
+            names.add(frames[3])
+        assert "memory" not in names  # atomic: zero rows filtered
+
+    def test_run_and_phase_counting(self):
+        profiler = profiled_batch(n_runs=4)
+        assert profiler.n_runs == 4
+        assert profiler.phase_counts["sched"] > 0
+        assert profiler.phase_counts["step"] == \
+            profiler.phase_counts["transition"]
+        d = profiler.to_dict()
+        assert d["runs"] == 4
+        assert d["frames"] == ["two", "random", "atomic"]
+
+    def test_render_mentions_every_component(self):
+        text = profiled_batch().render()
+        assert text.startswith("two;random;atomic: 5 runs")
+        for name in COMPONENTS:
+            assert name in text
+
+
+class TestMerge:
+    def test_merge_adds_durations_and_counts(self):
+        a = profiled_batch(seed=1)
+        b = profiled_batch(seed=2)
+        total_runs = a.n_runs + b.n_runs
+        expected_sched = a.phase_seconds["sched"] + \
+            b.phase_seconds["sched"]
+        a.merge(b)
+        assert a.n_runs == total_runs
+        assert a.phase_seconds["sched"] == pytest.approx(expected_sched)
+
+    def test_merge_rejects_mismatched_frames(self):
+        a = TimeAttributionProfiler(("two", "random", "atomic"))
+        b = TimeAttributionProfiler(("three", "fixed", "safe"))
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.merge(b)
+
+
+class TestMatrix:
+    def test_profile_matrix_names_cells_automatically(self):
+        def random_sched(rng):
+            return RandomScheduler(rng)
+
+        profilers = profile_matrix(
+            [
+                {
+                    "protocol_factory": lambda: TwoProcessProtocol(),
+                    "scheduler_factory": random_sched,
+                    "inputs_factory": lambda i, rng: ("a", "b"),
+                },
+                {
+                    "protocol_factory": lambda: ThreeBoundedProtocol(),
+                    "scheduler_factory": random_sched,
+                    "inputs_factory": lambda i, rng: ("a", "b", "a"),
+                    "memory": "safe",
+                    "frames": ("cell2", "named"),
+                },
+            ],
+            runs=3, max_steps=2000,
+        )
+        assert len(profilers) == 2
+        assert profilers[0].frames[1] == "random_sched"
+        assert profilers[0].frames[2] == "atomic"
+        assert profilers[1].frames == ("cell2", "named")
+        assert all(p.n_runs == 3 for p in profilers)
+
+    def test_matrix_stacks_concatenates_cells(self):
+        a = profiled_batch(frames=("a",), seed=1, n_runs=2)
+        b = profiled_batch(frames=("b",), seed=2, n_runs=2)
+        rows = matrix_stacks([a, b])
+        heads = {frames[0] for frames, _ in rows}
+        assert heads == {"a", "b"}
+        assert len(rows) == len(a.stacks()) + len(b.stacks())
