@@ -1,0 +1,220 @@
+"""E-ir — vector mega-batch throughput over the PR-3 fast path.
+
+This PR's tentpole lowers finite protocols to integer tables
+(:mod:`repro.ir`) and steps whole Monte-Carlo batches in lockstep NumPy
+(``engine="vector"``).  The benchmark measures batch throughput
+(steps/second) for the vector engine against the *honest* fast-path
+baseline — shared protocol instance, shared
+:class:`~repro.sim.transitions.TransitionCache`, RNG streams prebuilt
+outside the clock, exactly as ``test_bench_kernel.py`` times it —
+asserts every cell's batch is bit-identical across engines before any
+timing is reported, gates on the lockstep-friendly cell, and emits
+``BENCH_ir.json`` in the shared envelope (docs/PERFORMANCE.md).
+
+Cell design: the random scheduler makes every coin and every consult a
+rejection-sampled scalar-width draw, which caps vector wins (the
+per-cell ratios land honestly below the headline); the round-robin
+scheduler consumes no scheduler randomness at all, so refill waves
+consolidate and the six-processor three-value naive protocol — widest
+tables, longest runs — shows what the lockstep backend is for.  The
+>= 10x gate therefore binds on ``naive_6_3v/round_robin`` only; the
+other cells are recorded, not gated (docs/IR.md §5).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="the vector-engine benchmark times the numpy backend")
+
+from conftest import dump_bench
+from repro.analysis.reporting import ExperimentRecord
+from repro.core.naive import NaiveProtocol
+from repro.core.three_bounded import ThreeBoundedProtocol
+from repro.core.two_process import TwoProcessProtocol
+from repro.ir import VectorKernel, compile_protocol
+from repro.sched.simple import RandomScheduler, RoundRobinScheduler
+from repro.sim.kernel import Simulation
+from repro.sim.rng import ReplayableRng
+from repro.sim.transitions import TransitionCache
+
+N_RUNS = 8_000
+REPS = 2
+SEED = 2025
+# The reference machine measures ~16x on the gate cell (recorded in
+# BENCH_ir.json); 10x is the ISSUE's acceptance floor.  The gate is
+# in-process (vector vs fast measured back-to-back on the same host in
+# the same run), so it needs no stored-baseline host check — it simply
+# requires numpy, which the importorskip above already enforces.
+MIN_SPEEDUP = 10.0
+GATE_CELL = ("naive_6_3v", "round_robin")
+
+# name -> (protocol factory, inputs, scheduler name, max_steps)
+CASES = {
+    "two_process": (lambda: TwoProcessProtocol(), ("a", "b"),
+                    "random", 4_000),
+    "three_bounded": (lambda: ThreeBoundedProtocol(), ("a", "b", "b"),
+                      "random", 4_000),
+    "naive_6_3v#random": (lambda: NaiveProtocol(6, values=("a", "b", "c")),
+                          ("a", "b", "c", "a", "b", "c"), "random", 2_000),
+    "naive_6_3v": (lambda: NaiveProtocol(6, values=("a", "b", "c")),
+                   ("a", "b", "c", "a", "b", "c"), "round_robin", 2_000),
+}
+
+SCHED_SPECS = {"random": ("random",), "round_robin": ("round_robin", 0)}
+
+
+def build_streams(n_runs, seed=SEED):
+    """Per-run RNG pairs, Mersenne state pre-built outside the clock."""
+    root = ReplayableRng(seed)
+    streams = []
+    for i in range(n_runs):
+        run_rng = root.child("run", i)
+        streams.append((run_rng.child("sched").prime(),
+                        run_rng.child("kernel")))
+    return streams
+
+
+def make_scheduler(name, sched_rng):
+    if name == "random":
+        return RandomScheduler(sched_rng)
+    return RoundRobinScheduler()
+
+
+def timed_fast_batch(protocol, inputs, sched_name, streams, cache,
+                     max_steps):
+    """One fast-path batch over prebuilt streams; (seconds, results)."""
+    results = []
+    append = results.append
+    t0 = perf_counter()
+    for sched_rng, kernel_rng in streams:
+        sim = Simulation(protocol, inputs,
+                         make_scheduler(sched_name, sched_rng),
+                         kernel_rng, fast=True, cache=cache)
+        append(sim.run(max_steps))
+    return perf_counter() - t0, results
+
+
+def best_fast(protocol, inputs, sched_name, cache, max_steps):
+    best_t, first_results = None, None
+    for _ in range(REPS):
+        streams = build_streams(N_RUNS)  # fresh stateful streams per rep
+        t, results = timed_fast_batch(protocol, inputs, sched_name,
+                                      streams, cache, max_steps)
+        if first_results is None:
+            first_results = results
+        if best_t is None or t < best_t:
+            best_t = t
+    return best_t, first_results
+
+
+def best_vector(vk, inputs, max_steps):
+    indices = list(range(N_RUNS))
+    inputs_by_run = [tuple(inputs)] * N_RUNS
+    best_t, first_results = None, None
+    for _ in range(REPS):
+        t0 = perf_counter()
+        batch = vk.run_batch(SEED, indices, inputs_by_run,
+                             max_steps=max_steps)
+        t = perf_counter() - t0
+        if first_results is None:
+            first_results = batch.results
+        if best_t is None or t < best_t:
+            best_t = t
+    return best_t, first_results
+
+
+def assert_bit_identical(vec_results, fast_results):
+    assert len(vec_results) == len(fast_results)
+    for v, f in zip(vec_results, fast_results):
+        assert v.decisions == f.decisions
+        assert v.activations == f.activations
+        assert v.coin_flips == f.coin_flips
+        assert v.total_steps == f.total_steps
+        assert v.sched_consults == f.sched_consults
+        assert v.final_configuration == f.final_configuration
+
+
+def test_bench_ir_vector_engine(benchmark, report):
+    def run_all():
+        out = {}
+        for name, (factory, inputs, sched_name, max_steps) in CASES.items():
+            protocol = factory()
+            vk = VectorKernel(compile_protocol(protocol),
+                              SCHED_SPECS[sched_name], backend="numpy")
+            # Warmup batch: lazy lowering, _Tables sync, allocator.
+            vk.run_batch(7, list(range(64)), [tuple(inputs)] * 64,
+                         max_steps=200)
+            t_vec, res_vec = best_vector(vk, inputs, max_steps)
+            cache = TransitionCache(protocol)
+            t_fast, res_fast = best_fast(protocol, inputs, sched_name,
+                                         cache, max_steps)
+            out[name] = (t_vec, t_fast, res_vec, res_fast,
+                         vk.compiled.describe())
+        return out
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    records = []
+    for name, (t_vec, t_fast, res_vec, res_fast, tables) \
+            in measured.items():
+        assert_bit_identical(res_vec, res_fast)
+        protocol_name, _, sched_name = name.partition("#")
+        sched_name = sched_name or CASES[name][2]
+        total_steps = sum(r.total_steps for r in res_vec)
+        sps_vec = total_steps / t_vec
+        sps_fast = total_steps / t_fast
+        ratio = sps_vec / sps_fast
+        rows.append((protocol_name, sched_name, f"{sps_fast:,.0f}",
+                     f"{sps_vec:,.0f}", f"{ratio:.2f}x"))
+        records.append(ExperimentRecord(
+            experiment="ir_vector_engine",
+            protocol=protocol_name,
+            scheduler=sched_name,
+            inputs=",".join(map(str, CASES[name][1])),
+            seed=SEED,
+            n_runs=N_RUNS,
+            max_steps=CASES[name][3],
+            metrics={
+                "timing": {
+                    "seconds_vector": t_vec,
+                    "seconds_fast": t_fast,
+                    "steps_per_second_vector": sps_vec,
+                    "steps_per_second_fast": sps_fast,
+                    "speedup_ratio": ratio,
+                    "total_steps": total_steps,
+                    "reps": REPS,
+                },
+                "backend": "numpy",
+                "compiled_tables": tables,
+                "bit_identical": True,
+                "gated": (protocol_name, sched_name) == GATE_CELL,
+            },
+        ))
+        if (protocol_name, sched_name) == GATE_CELL:
+            # CI gate (see .github/workflows/ci.yml ir-bench).
+            assert ratio >= MIN_SPEEDUP, (
+                f"{name}: vector engine only {ratio:.2f}x over the fast "
+                f"path (gate {MIN_SPEEDUP}x)"
+            )
+
+    report.add_table(
+        "E-ir: vector-engine throughput vs fast path "
+        f"({N_RUNS:,}-run lockstep batches)",
+        header=("protocol", "scheduler", "fast steps/s",
+                "vector steps/s", "speedup"),
+        rows=rows,
+        note=("Every cell's batch is asserted bit-identical (decisions, "
+              "coin flips, consults,\nfinal configurations) across "
+              "engines before timing is reported.  Gate: >= "
+              f"{MIN_SPEEDUP:.0f}x\non {'/'.join(GATE_CELL)} only — "
+              "random-scheduler cells pay scalar rejection sampling\n"
+              "and are recorded ungated (docs/IR.md §5, "
+              "docs/PERFORMANCE.md)."),
+    )
+
+    dump_bench(records, "ir")

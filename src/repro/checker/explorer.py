@@ -235,6 +235,156 @@ class ConfigGraph:
                 yield config
 
 
+def _explore_tables(
+    protocol: Automaton,
+    inputs: Sequence[Hashable],
+    max_depth: Optional[int],
+    max_states: int,
+    on_node: Optional[Callable[[Configuration, int], None]],
+    spec,
+    tracer,
+) -> ConfigGraph:
+    """BFS over compiled integer tables (``explore(engine="tables")``).
+
+    Configurations are explored as ``(state-id tuple, register-vid
+    tuple)`` keys — interned integers instead of rich state objects —
+    and decoded back to object-level :class:`Configuration` on first
+    visit, so the returned graph is *identical* (same nodes, same edge
+    order, same :class:`Successor` fields) to the object-path BFS
+    while hashing and successor generation run over plain ints.
+    Compilation stays lazy: only states some reachable configuration
+    actually contains are ever lowered.  Atomic registers only — weak
+    memory's read fan-out speaks the adversary's object-level
+    vocabulary (docs/IR.md §6).
+    """
+    from repro.ir import compile_protocol
+    from repro.ir.lower import IRUnsupportedError
+
+    if not spec.atomic:
+        raise IRUnsupportedError(
+            "engine='tables' explores atomic-register graphs only — "
+            "weak-memory read fan-out needs the object-level explorer")
+    t0 = _perf_counter() if tracer is not None else 0.0
+    # strict=False mirrors the object path's TransitionCache(strict=
+    # False): the explorer has never validated branch distributions.
+    cp = compile_protocol(protocol, strict=False)
+    layout = cp.layout
+    n = cp.n_processes
+    root_key = (tuple(cp.initial_sids(tuple(inputs))),
+                tuple(cp.init_regs))
+    decoded: Dict[Tuple, Configuration] = {}
+
+    def config_of(key: Tuple) -> Configuration:
+        config = decoded.get(key)
+        if config is None:
+            config = decoded[key] = cp.decode_configuration(
+                key[0], key[1])
+        return config
+
+    def succ_of(key: Tuple) -> Tuple[Successor, ...]:
+        sids, regs = key
+        out: List[Successor] = []
+        for pid in range(n):
+            sid = sids[pid]
+            if cp.state_out[sid] >= 0:
+                continue
+            if cp.state_nb[sid] < 0:
+                cp.ensure_compiled(sid)
+            base = cp.state_base[sid]
+            for b in range(base, base + cp.state_nb[sid]):
+                if cp.br_is_read[b]:
+                    rv = regs[cp.br_slot[b]]
+                    nxt = cp.br_read_out[b].get(rv)
+                    if nxt is None:
+                        nxt = cp.read_outcome(b, rv)
+                    new_regs = regs
+                    result: Hashable = cp.values[rv]
+                else:
+                    slot = cp.br_slot[b]
+                    nxt = cp.br_write_next[b]
+                    new_regs = regs[:slot] + (cp.br_write[b],) \
+                        + regs[slot + 1:]
+                    result = None
+                nkey = (sids[:pid] + (nxt,) + sids[pid + 1:], new_regs)
+                out.append(Successor(
+                    pid=pid, probability=cp.br_prob[b], op=cp.br_op[b],
+                    config=config_of(nkey), result=result,
+                ))
+        return tuple(out)
+
+    depth_of_key: Dict[Tuple, int] = {root_key: 0}
+    edges: Dict[Configuration, Tuple[Successor, ...]] = {}
+    depth_of: Dict[Configuration, int] = {config_of(root_key): 0}
+    frontier: List[Configuration] = []
+    complete = True
+    queue = collections.deque([root_key])
+
+    if on_node is not None:
+        on_node(config_of(root_key), 0)
+
+    while queue:
+        key = queue.popleft()
+        depth = depth_of_key[key]
+        config = config_of(key)
+        if max_depth is not None and depth >= max_depth:
+            if succ_of(key):
+                frontier.append(config)
+                complete = False
+            else:
+                edges[config] = ()
+            continue
+        succ = succ_of(key)
+        edges[config] = succ
+        sids, regs = key
+        for s in succ:
+            skey = ((sids[:s.pid]
+                     + (cp.intern_state(s.pid, s.config.states[s.pid]),)
+                     + sids[s.pid + 1:]),
+                    tuple(cp.intern_value(v)
+                          for v in s.config.registers))
+            if skey not in depth_of_key:
+                if len(depth_of_key) >= max_states:
+                    complete = False
+                    frontier.append(config)
+                    break
+                depth_of_key[skey] = depth + 1
+                depth_of[s.config] = depth + 1
+                if on_node is not None:
+                    on_node(s.config, depth + 1)
+                queue.append(skey)
+        else:
+            continue
+        break  # state budget exhausted: stop expanding
+
+    for key in queue:
+        config = config_of(key)
+        if config not in edges:
+            frontier.append(config)
+            if succ_of(key):
+                complete = False
+
+    graph = ConfigGraph(
+        protocol=protocol,
+        layout=layout,
+        roots=(config_of(root_key),),
+        edges=edges,
+        depth_of=depth_of,
+        frontier=tuple(frontier),
+        complete=complete,
+    )
+    if tracer is not None:
+        tracer.record_explore(
+            protocol_name=getattr(protocol, "name",
+                                  type(protocol).__name__),
+            n_configs=len(depth_of),
+            n_edges=sum(len(e) for e in edges.values()),
+            depth=max(depth_of.values()) if depth_of else 0,
+            complete=complete,
+            seconds=_perf_counter() - t0,
+        )
+    return graph
+
+
 def explore(
     protocol: Automaton,
     inputs: Sequence[Hashable],
@@ -243,6 +393,7 @@ def explore(
     on_node: Optional[Callable[[Configuration, int], None]] = None,
     memory=None,
     tracer=None,
+    engine: Optional[str] = None,
 ) -> ConfigGraph:
     """Breadth-first exploration from the initial configuration.
 
@@ -270,7 +421,20 @@ def explore(
         recorded as one ``checker.explore`` span (logical time = depth
         reached, attrs = configs/edges/completeness).  Purely
         observational — the graph is identical with or without it.
+    engine:
+        ``"objects"`` (default) walks rich :class:`Configuration`
+        objects through :func:`successors`; ``"tables"`` compiles the
+        protocol to the table IR (:mod:`repro.ir`) and runs the same
+        BFS over interned integer keys, returning an identical graph
+        (atomic memory only — weak semantics raise
+        :class:`~repro.ir.lower.IRUnsupportedError`).
     """
+    if engine == "tables":
+        return _explore_tables(protocol, inputs, max_depth, max_states,
+                               on_node, memory_spec(memory), tracer)
+    if engine not in (None, "objects"):
+        raise ValueError(
+            f"unknown engine {engine!r}: expected 'objects' or 'tables'")
     t0 = _perf_counter() if tracer is not None else 0.0
     # One TransitionCache for the whole BFS: (pid, state) pairs recur
     # across configurations far more often than in a single run, so

@@ -111,6 +111,7 @@ def verify_safety(
     max_depth: Optional[int] = None,
     max_states: int = 500_000,
     memory=None,
+    engine: Optional[str] = None,
 ) -> SafetyReport:
     """Exhaustively check consistency and nontriviality.
 
@@ -128,6 +129,10 @@ def verify_safety(
     contended reads over every legal return value, so a verified
     property holds against scheduling, coins *and* adversary read-value
     choices (see :mod:`repro.checker.weakmem` for witness extraction).
+
+    ``engine`` selects the explorer backend (``"objects"`` or
+    ``"tables"`` — see :func:`repro.checker.explorer.explore`); the
+    verdict is identical either way because the graphs are.
     """
     input_set = set(inputs)
     state: Dict[str, object] = {
@@ -155,7 +160,7 @@ def verify_safety(
 
     graph = explore(
         protocol, inputs, max_depth=max_depth, max_states=max_states,
-        on_node=on_node, memory=memory,
+        on_node=on_node, memory=memory, engine=engine,
     )
     return SafetyReport(
         ok=state["violation"] is None,

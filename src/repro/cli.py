@@ -132,7 +132,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     metrics, journal, sinks = _solve_sinks(args)
     outcome = solve(protocol, inputs, scheduler=scheduler, seed=args.seed,
                     max_steps=args.max_steps, record_trace=args.trace,
-                    sinks=sinks, memory=args.memory)
+                    sinks=sinks, memory=args.memory, engine=args.engine)
     if journal is not None:
         journal.close()
     print(f"protocol:   {protocol.name}")
@@ -172,7 +172,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     inputs = args.inputs.split(",")
     protocol = _build_protocol(args.protocol, len(inputs))
     report = verify_safety(protocol, inputs, max_depth=args.depth,
-                           max_states=args.max_states, memory=args.memory)
+                           max_states=args.max_states, memory=args.memory,
+                           engine=args.engine)
     print(f"protocol: {protocol.name}, inputs {inputs}")
     if args.memory != "atomic":
         print(f"memory:   {args.memory} registers (adversary also "
@@ -422,6 +423,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         sinks=sinks,
         memory=args.memory,
+        engine=args.engine,
     )
     stats = runner.run_many(
         args.runs,
@@ -507,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["atomic", "regular", "safe"],
                    help="register semantics the run executes under "
                         "(see docs/MODEL.md)")
+    p.add_argument("--engine", default=None,
+                   choices=("fast", "reference", "vector"),
+                   help="execution backend (default: fast kernel; "
+                        "'vector' runs the compiled table IR — see "
+                        "docs/IR.md)")
     p.add_argument("--read-policy", default=None,
                    choices=["commit", "adversarial", "random"],
                    help="how the adversary resolves weak-memory reads "
@@ -526,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["atomic", "regular", "safe"],
                    help="register semantics to verify under; weak "
                         "semantics also search for an anomaly witness")
+    p.add_argument("--engine", default=None,
+                   choices=("objects", "tables"),
+                   help="explorer backend ('tables' steps the compiled "
+                        "IR — atomic memory only, identical verdict)")
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("impossibility",
@@ -574,6 +585,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", default="atomic",
                    choices=["atomic", "regular", "safe"],
                    help="register semantics every run executes under")
+    p.add_argument("--engine", default=None,
+                   choices=("fast", "reference", "vector"),
+                   help="execution backend (default: fast kernel; "
+                        "'vector' steps the whole batch in lockstep "
+                        "through the compiled table IR — see docs/IR.md)")
     p.add_argument("--timing", action="store_true",
                    help="attach a PhaseTimer and print phase wall-times")
     p.add_argument("--profile", action="store_true",

@@ -64,6 +64,7 @@ def solve(
     sinks: Sequence = (),
     fast: bool = True,
     memory=None,
+    engine: Optional[str] = None,
 ) -> ConsensusOutcome:
     """Run one consensus instance and return its outcome.
 
@@ -94,6 +95,11 @@ def solve(
         Register semantics: ``None`` (atomic, the default), a name in
         ``("atomic", "regular", "safe")``, or a
         :class:`~repro.sim.memory.MemorySpec` — see docs/MODEL.md.
+    engine:
+        Execution backend: ``"fast"``, ``"reference"``, or
+        ``"vector"`` (compiled table IR — bit-identical for the
+        supported matrix, see docs/IR.md).  ``None`` defers to
+        ``fast``.
 
     Example
     -------
@@ -107,6 +113,24 @@ def solve(
         from repro.sched.simple import RandomScheduler
 
         scheduler = RandomScheduler(rng.child("sched"))
+    if engine == "vector":
+        from repro.ir import VectorKernel, compile_protocol, \
+            replay_run, vectorize_scheduler
+
+        vk = VectorKernel(compile_protocol(protocol),
+                          vectorize_scheduler(scheduler), memory=memory)
+        result, rec = vk.run_single(
+            scheduler, rng.child("kernel"), tuple(inputs), max_steps,
+            record=bool(sinks), record_trace=record_trace)
+        if sinks:
+            replay_run(vk.compiled, result, rec, sinks, seed, 0)
+        return ConsensusOutcome.from_run(result)
+    if engine is not None:
+        if engine not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown engine {engine!r}: expected 'fast', "
+                f"'reference', or 'vector'")
+        fast = engine == "fast"
     sim = Simulation(
         protocol,
         inputs,

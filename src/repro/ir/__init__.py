@@ -1,0 +1,46 @@
+"""Table IR: finite protocols lowered to integer arrays.
+
+``repro.ir`` is the layer between the object-level protocol automata
+(:mod:`repro.core`) and the batch engines: :mod:`repro.ir.lower` interns
+states/values/branches into dense tables, :mod:`repro.ir.mt` vectorizes
+the CPython RNG those tables are stepped with, and
+:mod:`repro.ir.vector` is the lockstep mega-batch executor behind
+``engine="vector"``.  The IR layout, lowering rules, determinism
+contract, and refusal cases are specified in docs/IR.md.
+"""
+
+from repro.ir.lower import (
+    CompiledProtocol,
+    IRCompileError,
+    IRUnsupportedError,
+    MAX_STATES,
+    MAX_VALUES,
+    compile_protocol,
+)
+from repro.ir.vector import (
+    BATCH_CHUNK,
+    RunRecord,
+    SCALAR_CUTOFF,
+    SUPPORTED_SCHEDULERS,
+    VectorBatch,
+    VectorKernel,
+    replay_run,
+    vectorize_scheduler,
+)
+
+__all__ = [
+    "BATCH_CHUNK",
+    "CompiledProtocol",
+    "IRCompileError",
+    "IRUnsupportedError",
+    "MAX_STATES",
+    "MAX_VALUES",
+    "RunRecord",
+    "SCALAR_CUTOFF",
+    "SUPPORTED_SCHEDULERS",
+    "VectorBatch",
+    "VectorKernel",
+    "compile_protocol",
+    "replay_run",
+    "vectorize_scheduler",
+]

@@ -1,0 +1,358 @@
+"""Batched Mersenne Twister: CPython's ``random.Random`` vectorized.
+
+The bit-identical determinism contract (docs/IR.md §4) pins every
+engine to the exact draw sequences of :class:`random.Random` — which is
+MT19937 seeded through ``init_by_array`` over the 32-bit little-endian
+chunks of the seed.  Constructing one ``random.Random`` per stream
+costs ~100µs of scalar seeding each, and a mega-batch needs
+``(n_processes + 1)`` streams *per run*; this module instead keeps the
+MT states of all streams of a batch in one ``[S, 624]`` uint32 matrix
+and runs the seeding recurrences and the twist across all streams at
+once with NumPy.
+
+Verified equivalences (``tests/test_ir_lowering.py::TestMtEquivalence``):
+
+* :meth:`MtRuns.take_words` reproduces successive
+  ``random.Random(seed).getrandbits(32)`` words per stream;
+* ``random()`` is two words: ``((w0 >> 5) * 67108864.0 + (w1 >> 6)) /
+  9007199254740992.0`` (CPython's ``random_random``);
+* ``getrandbits(k)``, k ≤ 32, is one word ``>> (32 - k)``;
+* :meth:`MtRuns.handoff` round-trips a stream's exact mid-sequence
+  state into a live ``random.Random`` via ``setstate`` — the vector
+  engine uses this to finish straggler runs on the scalar path without
+  perturbing a single draw.
+
+This module imports NumPy unconditionally; the pure-Python fallback
+engine never needs it (it uses :class:`~repro.sim.rng.ReplayableRng`
+directly).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+import numpy as np
+
+N = 624
+M = 397
+MATRIX_A = np.uint32(0x9908B0DF)
+UPPER_MASK = np.uint32(0x80000000)
+LOWER_MASK = np.uint32(0x7FFFFFFF)
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = (1 << 64) - 1
+
+#: Streams per twist chunk (~2.5 MB of state + temporaries per 1024
+#: streams): keeps the refill working set cache-resident.
+_TWIST_CHUNK = 1024
+
+#: ``init_genrand(19650218)`` — the constant base state every
+#: ``init_by_array`` seeding starts from; computed once.
+_BASE_STATE: List[int] = []
+
+
+def _init_genrand_base() -> np.ndarray:
+    if not _BASE_STATE:
+        mt = [19650218 & _MASK32]
+        for i in range(1, N):
+            prev = mt[i - 1]
+            mt.append((1812433253 * (prev ^ (prev >> 30)) + i) & _MASK32)
+        _BASE_STATE.extend(mt)
+    return np.array(_BASE_STATE, dtype=np.uint32)
+
+
+def seed_keys(seeds):
+    """CPython seeding keys of 64-bit seeds: 32-bit LE chunks of abs().
+
+    Returns ``(key, key_len)``: ``key`` is ``[S, 2]`` uint32 and
+    ``key_len[s]`` is 1 for seeds < 2**32 (CPython drops the leading
+    zero chunk) else 2.  Seeds here come from SplitMix64 derivation so
+    they are already non-negative 64-bit values.
+    """
+    if isinstance(seeds, np.ndarray):
+        s = seeds.astype(np.uint64, copy=False)
+    else:
+        s = np.asarray([x & _MASK64 for x in seeds], dtype=np.uint64)
+    key = np.empty((len(s), 2), dtype=np.uint32)
+    key[:, 0] = (s & np.uint64(_MASK32)).astype(np.uint32)
+    key[:, 1] = (s >> np.uint64(32)).astype(np.uint32)
+    key_len = np.where(key[:, 1] == 0, 1, 2).astype(np.int64)
+    return key, key_len
+
+
+def init_by_array(key: np.ndarray, key_len: np.ndarray) -> np.ndarray:
+    """Vectorized ``init_by_array`` over S streams; returns [624, S].
+
+    The two seeding recurrences are sequential in the state index but
+    independent across streams, so each of the 624 + 623 iterations is
+    one vector operation over all streams.  The state is laid out
+    *transposed* — word index major, stream minor — so each iteration
+    touches one contiguous row instead of a 2.5 kB-strided column (the
+    strided variant is bound by one cache miss per stream per word and
+    is ~20x slower at batch scale).  Key cycling (``j`` wraps at the
+    per-stream key length) only ever takes two shapes here — a
+    length-1 key pins ``j = 0``, a length-2 key alternates 0, 1 — so
+    the per-iteration key term is a precomputed 2-phase select.
+    """
+    S = key.shape[0]
+    mt = np.tile(_init_genrand_base()[:, None], (1, S))
+    # Key value and j-addend for even (j=0) and odd (j=1) iterations.
+    kv_even = key[:, 0].copy()
+    kv_odd = np.where(key_len == 2, key[:, 1], key[:, 0]).astype(np.uint32)
+    j_odd = np.where(key_len == 2, 1, 0).astype(np.uint32)
+    j_even = np.zeros(S, dtype=np.uint32)
+    i = 1
+    for t in range(N):
+        prev = mt[i - 1]
+        kv, ja = (kv_even, j_even) if t % 2 == 0 else (kv_odd, j_odd)
+        mt[i] = (
+            (mt[i] ^ ((prev ^ (prev >> np.uint32(30)))
+                      * np.uint32(1664525))) + kv + ja)
+        i += 1
+        if i >= N:
+            mt[0] = mt[N - 1]
+            i = 1
+    for t in range(N - 1):
+        prev = mt[i - 1]
+        mt[i] = (
+            (mt[i] ^ ((prev ^ (prev >> np.uint32(30)))
+                      * np.uint32(1566083941))) - np.uint32(i))
+        i += 1
+        if i >= N:
+            mt[0] = mt[N - 1]
+            i = 1
+    mt[0] = np.uint32(0x80000000)
+    return mt
+
+
+def twist(mt: np.ndarray) -> None:
+    """One in-place MT19937 state transition over [S, 624] streams.
+
+    The C reference updates ``mt[i]`` in ascending ``i`` and reads
+    ``mt[i + M mod N]``, which for ``i >= N - M`` is an entry updated
+    earlier in the same pass — so the vectorization goes in the
+    standard three segments whose reads are respectively all-old,
+    freshly-updated-head, and the wrap element.  Every ``y`` value
+    reads only *old* entries (the C loop reads ``mt[i]``/``mt[i+1]``
+    before writing index ``i``), so the whole ``yy`` block is
+    precomputed up front.
+
+    The block is stream-major (one contiguous 624-word row per
+    stream): every operand below then shares one stride pattern, so no
+    ufunc has to materialize a transposed temporary — with word-major
+    blocks each mixed-layout assignment becomes a full cache-hostile
+    transposition once the block outgrows L3.
+    """
+    one = np.uint32(1)
+    y = np.empty_like(mt)
+    y[:, :N - 1] = mt[:, 1:] & LOWER_MASK
+    y[:, N - 1] = mt[:, 0] & LOWER_MASK
+    y |= mt & UPPER_MASK
+    mag = np.where((y & one).astype(bool), MATRIX_A, np.uint32(0))
+    yy = (y >> one) ^ mag
+    # Segment 1: i in [0, N-M): reads mt[i+M] from the old state.
+    mt[:, :N - M] = mt[:, M:] ^ yy[:, :N - M]
+    # Segment 2: i in [N-M, N-1): reads mt[i+M-N] — entries updated
+    # earlier in this same pass, so go in chunks of N-M (each chunk
+    # only reads chunks already written: [227,454) reads [0,227) from
+    # segment 1, [454,623) reads [227,396) from the previous chunk).
+    mt[:, N - M:2 * (N - M)] = mt[:, :N - M] ^ yy[:, N - M:2 * (N - M)]
+    mt[:, 2 * (N - M):N - 1] = mt[:, N - M:M - 1] ^ yy[:, 2 * (N - M):N - 1]
+    # Segment 3: i = N-1: y uses the *updated* mt[0]; reads mt[M-1].
+    y_last = (mt[:, N - 1] & UPPER_MASK) | (mt[:, 0] & LOWER_MASK)
+    mag_last = np.where((y_last & one).astype(bool), MATRIX_A, np.uint32(0))
+    mt[:, N - 1] = mt[:, M - 1] ^ ((y_last >> one) ^ mag_last)
+
+
+def temper(block: np.ndarray) -> np.ndarray:
+    """MT19937 output tempering of a generated block (any shape)."""
+    y = block.copy()
+    y ^= y >> np.uint32(11)
+    y ^= (y << np.uint32(7)) & np.uint32(0x9D2C5680)
+    y ^= (y << np.uint32(15)) & np.uint32(0xEFC60000)
+    y ^= y >> np.uint32(18)
+    return y
+
+
+class MtRuns:
+    """The word streams of a batch: one MT19937 per stream.
+
+    ``take_words(rows)`` draws the next 32-bit output word of each
+    listed stream (rows must be distinct within one call — a stream
+    needing two words, e.g. for one ``random()``, takes twice).  Words
+    are produced block-wise: a 624-word block per twist, tempered on
+    refill and buffered per stream with an independent cursor, exactly
+    mirroring CPython's ``genrand_uint32``.
+
+    Streams are seeded **lazily** at their first refill: a stream never
+    drawn from (a round-robin batch's scheduler streams, a decided
+    processor's coin stream) costs nothing but its seed value.
+
+    Layout: per-stream storage is ``[S, 624]`` (stream-major) because
+    NumPy's axis-0 fancy indexing is the fast gather/scatter path, but
+    the twist *computes* on the ``[624, k]`` transposed view so each
+    word-index operation runs over a contiguous-ish inner axis — the
+    micro-benchmarked combination (axis-1 fancy indexing or a strided
+    twist are each 5–6x slower at batch scale).
+    """
+
+    def __init__(self, seeds) -> None:
+        self.key, self.key_len = seed_keys(seeds)
+        self.n_streams = self.key.shape[0]
+        self.state = np.empty((self.n_streams, N), dtype=np.uint32)
+        self.buf = np.empty((self.n_streams, N), dtype=np.uint32)
+        self.seeded = np.zeros(self.n_streams, dtype=bool)
+        # Cursor == N means "block exhausted, twist before next word";
+        # a fresh init starts exhausted, as CPython's mti = N does.
+        self.pos = np.full(self.n_streams, N, dtype=np.int64)
+
+    def _refill(self, rows: np.ndarray) -> None:
+        # Consolidate: any already-seeded stream sitting exhausted will
+        # need its twist soon anyway (exhausted streams have no
+        # buffered words to lose, so twisting early changes nothing) —
+        # fold them in to amortize the per-call fixed cost instead of
+        # paying it again for every few streams that exhaust one tick
+        # apart.
+        extra = np.nonzero(self.seeded & (self.pos >= N))[0]
+        if extra.size:
+            rows = np.union1d(rows, extra)
+        fresh = rows[~self.seeded[rows]]
+        if fresh.size:
+            self.state[fresh] = init_by_array(
+                self.key[fresh], self.key_len[fresh]).T
+            self.seeded[fresh] = True
+        # Chunked so block + twist temporaries stay cache-resident —
+        # one monolithic block is ~2.5x slower once it spills L3.
+        for i in range(0, len(rows), _TWIST_CHUNK):
+            r = rows[i:i + _TWIST_CHUNK]
+            block = self.state[r]
+            twist(block)
+            self.state[r] = block
+            self.buf[r] = temper(block)
+        self.pos[rows] = 0
+
+    def prefill(self, rows: np.ndarray) -> None:
+        """Seed + produce the first block of ``rows`` in one shot.
+
+        Engines call this at batch start with every stream the
+        scheduler/protocol mix is expected to draw from: one big
+        ``init_by_array`` + one big twist beats the same work arriving
+        as hundreds of small first-use refills.  Only streams still at
+        the exhausted cursor are touched, so it is always exact.
+        """
+        rows = rows[self.pos[rows] >= N]
+        if rows.size:
+            self._refill(rows)
+
+    def take_words(self, rows: np.ndarray) -> np.ndarray:
+        """Next output word of each (distinct) stream in ``rows``."""
+        pos = self.pos[rows]
+        exhausted = pos >= N
+        if exhausted.any():
+            self._refill(rows[exhausted])
+            pos = self.pos[rows]
+        words = self.buf[rows, pos]
+        self.pos[rows] = pos + 1
+        return words
+
+    def take_word_one(self, row: int) -> int:
+        """Next output word of one stream, scalar-fast.
+
+        Used by the schedulers' rejection-tail fallback: once only a
+        handful of streams are still rejecting, per-row Python beats
+        the fixed cost of another batched gather/scatter round.
+        """
+        p = self.pos[row]
+        if p >= N:
+            self._refill(np.array([row], dtype=np.int64))
+            p = 0
+        w = int(self.buf[row, p])
+        self.pos[row] = p + 1
+        return w
+
+    def take_pairs(self, rows: np.ndarray):
+        """Next two output words of each stream (one ``random()`` each).
+
+        Fast path for the all-words-buffered case; any stream near its
+        block boundary falls back to two sequential :meth:`take_words`
+        calls, which handle the refill split exactly.
+        """
+        pos = self.pos[rows]
+        if (pos <= N - 2).all():
+            w0 = self.buf[rows, pos]
+            w1 = self.buf[rows, pos + 1]
+            self.pos[rows] = pos + 2
+            return w0, w1
+        return self.take_words(rows), self.take_words(rows)
+
+    def handoff(self, row: int) -> random.Random:
+        """A live ``random.Random`` continuing stream ``row`` exactly.
+
+        CPython's ``getstate``/``setstate`` tuple is the raw MT state
+        plus the block cursor — precisely what this class keeps — so a
+        straggler run can leave the vectorized path mid-sequence and
+        keep drawing scalar words with zero divergence.  A never-drawn
+        stream hands off as a fresh ``random.Random(seed)``.
+        """
+        if not self.seeded[row]:
+            seed = (int(self.key[row, 1]) << 32) | int(self.key[row, 0])
+            return random.Random(seed)
+        state = tuple(int(x) for x in self.state[row])
+        rnd = random.Random()
+        rnd.setstate((3, state + (int(self.pos[row]),), None))
+        return rnd
+
+
+# ----------------------------------------------------------------------
+# Vectorized seed derivation (repro.sim.rng contract)
+# ----------------------------------------------------------------------
+
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_M2 = np.uint64(0x94D049BB133111EB)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vector twin of :func:`repro.sim.rng._splitmix64` (uint64 in/out)."""
+    x = (x + _SPLITMIX_GAMMA)
+    x = (x ^ (x >> np.uint64(30))) * _SPLITMIX_M1
+    x = (x ^ (x >> np.uint64(27))) * _SPLITMIX_M2
+    return x ^ (x >> np.uint64(31))
+
+
+def mix_str(acc: np.ndarray, token: str) -> np.ndarray:
+    """Vector twin of :func:`repro.sim.rng._mix_str`."""
+    h = acc
+    for byte in token.encode("utf-8"):
+        h = (h ^ np.uint64(byte)) * _FNV_PRIME
+    return splitmix64(h)
+
+
+def derive_run_streams(root_seed: int, run_indices: Sequence[int],
+                       n_processes: int) -> np.ndarray:
+    """All stream seeds of a batch, derived as the runner derives them.
+
+    Returns ``[R, n_processes + 1]`` uint64: column ``pid`` is run
+    ``r``'s processor-``pid`` coin stream
+    (``root.child("run", i).child("kernel").children("proc", n)[pid]``)
+    and the last column is its scheduler stream
+    (``root.child("run", i).child("sched")``).  Bit-for-bit equal to
+    the scalar :func:`repro.sim.rng.derive_seed` chain — asserted by
+    ``test_ir_lowering.py::TestMtEquivalence::
+    test_seed_derivation_matches_scalar_chain``.
+    """
+    from repro.sim.rng import _mix_str, _splitmix64
+
+    idx = np.asarray(run_indices, dtype=np.uint64)
+    run_base = np.uint64(_mix_str(_splitmix64(root_seed & _MASK64), "run"))
+    run_seed = splitmix64(run_base ^ idx)
+    sched_seed = mix_str(splitmix64(run_seed), "sched")
+    kernel_seed = mix_str(splitmix64(run_seed), "kernel")
+    proc_base = mix_str(splitmix64(kernel_seed), "proc")
+    out = np.empty((len(idx), n_processes + 1), dtype=np.uint64)
+    for pid in range(n_processes):
+        out[:, pid] = splitmix64(proc_base ^ np.uint64(pid))
+    out[:, n_processes] = sched_seed
+    return out

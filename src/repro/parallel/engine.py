@@ -68,6 +68,11 @@ class BatchSpec:
     fast: bool = True
     #: Register semantics of every run (picklable; see repro.sim.memory).
     memory: MemorySpec = ATOMIC
+    #: Execution backend ("fast", "reference", or "vector"); ``None``
+    #: defers to the ``fast`` flag.  Workers rebuild their runner with
+    #: it, so a vector batch shards into per-worker lockstep
+    #: mega-batches (see repro.ir).
+    engine: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,7 +139,7 @@ def _execute_shard(task: ShardTask) -> ShardResult:
     path of a serial batch — with the shard's private registry and
     journal attached.
     """
-    from repro.sim.runner import ExperimentRunner, RunStats
+    from repro.sim.runner import ExperimentRunner
 
     registry = MetricsRegistry() if task.with_metrics else None
     journal = (JsonlJournal(task.journal_path, memory=task.spec.memory.name)
@@ -149,17 +154,14 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         sinks=sinks,
         fast=task.spec.fast,
         memory=task.spec.memory,
+        engine=task.spec.engine,
     )
     emitter = None
     if task.telemetry_queue is not None:
         emitter = TelemetryEmitter(task.shard_index, task.stop - task.start,
                                    task.telemetry_queue.put)
-    runs = []
-    for i in range(task.start, task.stop):
-        result = runner.run_one(i, task.max_steps)
-        runs.append(RunStats.from_result(i, result))
-        if emitter is not None:
-            emitter.record_run(result.total_steps)
+    runs = runner.run_range(task.start, task.stop, task.max_steps,
+                            emitter=emitter)
     if emitter is not None:
         emitter.finish()
     events = 0

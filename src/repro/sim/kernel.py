@@ -35,6 +35,15 @@ enforce that.  The fast path additionally requires the
 transition-stable states); protocols that violate it must pass
 ``fast=False``.
 
+A third engine lives *outside* this class: :mod:`repro.ir` lowers
+finite protocols to integer tables and steps whole Monte-Carlo batches
+in lockstep (``engine="vector"`` on the batch surfaces).  It is held to
+this kernel by the same differential discipline —
+``tests/test_ir_lowering.py`` mirrors the fastpath suite, and this
+kernel's :class:`RunResult` is the common currency all three engines
+must produce bit-identically.  Its supported matrix and rng-draw
+ordering contract are specified in docs/IR.md (§4, §5).
+
 Register semantics are pluggable since PR 4 (see
 :mod:`repro.sim.memory` and docs/MODEL.md): both engines route register
 access through a :class:`~repro.sim.memory.MemoryModel`.  Under the

@@ -233,6 +233,7 @@ class ExperimentRunner:
         sinks: Sequence[BaseSink] = (),
         fast: bool = True,
         memory=None,
+        engine: Optional[str] = None,
     ) -> None:
         self._protocol_factory = protocol_factory
         self._scheduler_factory = scheduler_factory
@@ -240,7 +241,21 @@ class ExperimentRunner:
         self._seed = seed
         self._strict = strict
         self._sinks = tuple(sinks)
-        self._fast = fast
+        # ``engine`` names the execution backend explicitly; the legacy
+        # ``fast`` flag keeps selecting between the two interpreted
+        # kernels when no engine is named.  "vector" steps compiled
+        # integer tables in lockstep mega-batches (repro.ir) and is
+        # bit-identical to the interpreted kernels for the supported
+        # protocol × scheduler × memory matrix (docs/IR.md §5); it
+        # raises IRUnsupportedError at first use otherwise.
+        if engine is None:
+            engine = "fast" if fast else "reference"
+        if engine not in ("fast", "reference", "vector"):
+            raise ValueError(
+                f"unknown engine {engine!r}: expected 'fast', "
+                f"'reference', or 'vector'")
+        self._engine = engine
+        self._fast = engine == "fast"
         # Register semantics for every run of the batch (a picklable
         # MemorySpec, so parallel shards inherit it unchanged).
         self._memory: MemorySpec = memory_spec(memory)
@@ -249,6 +264,14 @@ class ExperimentRunner:
         # and it amortizes branch/layout/initial-state resolution across
         # runs.  See repro.sim.transitions and docs/PERFORMANCE.md.
         self._cache: Optional[TransitionCache] = None
+        # Lazily built VectorKernel (engine="vector"): the compiled
+        # tables and scheduler spec are shared by every batch chunk.
+        self._vector = None
+
+    @property
+    def engine(self) -> str:
+        """The execution backend: ``fast``, ``reference``, or ``vector``."""
+        return self._engine
 
     @property
     def metrics(self) -> Optional[MetricsRegistry]:
@@ -257,6 +280,50 @@ class ExperimentRunner:
             if isinstance(sink, MetricsRegistry):
                 return sink
         return None
+
+    def _vector_kernel(self):
+        """Build (once) the shared VectorKernel for ``engine="vector"``.
+
+        The scheduler factory is probed with a throwaway rng to learn
+        the scheduler *kind* (and round-robin start); the factory
+        contract — fresh but equivalent scheduler per run — makes that
+        sound, exactly like the shared TransitionCache.  Per-run
+        scheduler randomness still comes from each run's own ``sched``
+        stream, derived inside the kernel.
+        """
+        if self._vector is None:
+            from repro.ir import (VectorKernel, compile_protocol,
+                                  vectorize_scheduler)
+
+            protocol = self._protocol_factory()
+            probe = self._scheduler_factory(
+                ReplayableRng(self._seed).child("sched-probe"))
+            self._vector = VectorKernel(
+                compile_protocol(protocol, strict=self._strict),
+                vectorize_scheduler(probe),
+                memory=self._memory,
+            )
+        return self._vector
+
+    def _run_one_vector(self, run_index: int, max_steps: int,
+                        record_trace: bool,
+                        sinks: Sequence[BaseSink]) -> RunResult:
+        from repro.ir import replay_run
+
+        vk = self._vector_kernel()
+        rng = ReplayableRng(self._seed).child("run", run_index)
+        inputs = self._inputs_factory(run_index, rng.child("inputs"))
+        batch = vk.run_batch(self._seed, [run_index], [tuple(inputs)],
+                             max_steps=max_steps, record=bool(sinks),
+                             record_trace=record_trace)
+        result = batch.results[0]
+        if sinks:
+            # replay_run emits on_run_key first, then the kernel event
+            # stream — the exact order an instrumented Simulation (and
+            # run_one's interpreted path) produces.
+            replay_run(vk.compiled, result, batch.records[0], sinks,
+                       self._seed, run_index)
+        return result
 
     def run_one(self, run_index: int, max_steps: int,
                 record_trace: bool = False,
@@ -273,6 +340,9 @@ class ExperimentRunner:
         which the span tracer derives its deterministic trace ids.
         """
         effective_sinks = self._sinks if sinks is None else sinks
+        if self._engine == "vector":
+            return self._run_one_vector(run_index, max_steps,
+                                        record_trace, effective_sinks)
         for sink in effective_sinks:
             run_key = getattr(sink, "on_run_key", None)
             if run_key is not None:
@@ -300,6 +370,58 @@ class ExperimentRunner:
             memory=self._memory,
         )
         return sim.run(max_steps)
+
+    def run_range(self, start: int, stop: int, max_steps: int,
+                  sinks: Optional[Sequence[BaseSink]] = None,
+                  emitter=None) -> List[RunStats]:
+        """Execute runs ``[start, stop)`` in index order.
+
+        The shared inner loop of serial batches and parallel shards.
+        Interpreted engines step one run at a time; the vector engine
+        executes lockstep mega-batches of up to
+        :data:`repro.ir.BATCH_CHUNK` runs and, when sinks are attached,
+        replays each run's recorded event stream into them in index
+        order — producing the same per-run results, journal bytes, and
+        metrics as the interpreted loop.  ``emitter`` (a
+        :class:`~repro.obs.telemetry.TelemetryEmitter`) receives one
+        ``record_run`` per run; under the vector engine heartbeats
+        arrive per chunk rather than per run, which only affects
+        wall-clock pacing, never results.
+        """
+        if self._engine != "vector":
+            runs = []
+            for i in range(start, stop):
+                result = self.run_one(i, max_steps, sinks=sinks)
+                runs.append(RunStats.from_result(i, result))
+                if emitter is not None:
+                    emitter.record_run(result.total_steps)
+            return runs
+        from repro.ir import BATCH_CHUNK, replay_run
+
+        vk = self._vector_kernel()
+        effective_sinks = self._sinks if sinks is None else tuple(sinks)
+        record = bool(effective_sinks)
+        root = ReplayableRng(self._seed)
+        runs = []
+        for lo in range(start, stop, BATCH_CHUNK):
+            hi = min(lo + BATCH_CHUNK, stop)
+            indices = list(range(lo, hi))
+            inputs = [
+                tuple(self._inputs_factory(
+                    i, root.child("run", i).child("inputs")))
+                for i in indices
+            ]
+            batch = vk.run_batch(self._seed, indices, inputs,
+                                 max_steps=max_steps, record=record)
+            for j, i in enumerate(indices):
+                result = batch.results[j]
+                if record:
+                    replay_run(vk.compiled, result, batch.records[j],
+                               effective_sinks, self._seed, i)
+                runs.append(RunStats.from_result(i, result))
+                if emitter is not None:
+                    emitter.record_run(result.total_steps)
+        return runs
 
     def run_many(
         self,
@@ -360,6 +482,7 @@ class ExperimentRunner:
                 strict=self._strict,
                 fast=self._fast,
                 memory=self._memory,
+                engine=self._engine,
             )
             return run_parallel(
                 spec, n_runs, max_steps,
@@ -383,12 +506,8 @@ class ExperimentRunner:
             telemetry_fh = open(telemetry_path, "w")
             emitter = TelemetryEmitter(0, n_runs, file_sink(telemetry_fh))
         try:
-            runs = []
-            for i in range(n_runs):
-                result = self.run_one(i, max_steps, sinks=sinks)
-                runs.append(RunStats.from_result(i, result))
-                if emitter is not None:
-                    emitter.record_run(result.total_steps)
+            runs = self.run_range(0, n_runs, max_steps, sinks=sinks,
+                                  emitter=emitter)
             if emitter is not None:
                 emitter.finish()
         finally:

@@ -41,6 +41,15 @@ runs.  Sharing is sound whenever the simulations execute *equivalent*
 protocols (same type and parameters), which the
 :class:`~repro.sim.runner.ExperimentRunner` factory contract already
 guarantees.
+
+:mod:`repro.ir.lower` is this module's logical successor one level
+down: it performs the same lowering :meth:`TransitionCache._build`
+does — branch tuple, weight sums in the same accumulation order,
+access-checked slots, memoized observe/output — but into flat integer
+arrays instead of per-state objects, so whole batches can step through
+the tables in lockstep (docs/IR.md §3 maps each cache field to its
+table twin).  The cache remains the one-run-at-a-time fast path and
+the engine of record for everything the IR refuses (docs/IR.md §6).
 """
 
 from __future__ import annotations

@@ -1,0 +1,61 @@
+"""Dead-link checker for the repo's own documentation.
+
+Every intra-repo markdown link in ``README.md`` and ``docs/*.md`` must
+point at a file that exists — docs that cross-reference each other
+(README's architecture map, the IR spec's related-reading trailer, the
+benchmark handbook's envelope list) rot silently otherwise.  External
+URLs and pure in-page anchors are out of scope; a ``path#anchor`` link
+is checked for the ``path`` part only.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted([REPO / "README.md", *(REPO / "docs").glob("*.md")])
+
+# [text](target) — excluding images and reference-style definitions.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _intra_repo_links(path: Path):
+    """Yield (lineno, raw target, resolved path) for local links."""
+    in_code_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:        # pure in-page anchor
+                continue
+            yield lineno, target, (path.parent / target_path).resolve()
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_no_dead_intra_repo_links(doc):
+    dead = [
+        f"{doc.relative_to(REPO)}:{lineno}: [{target}] -> missing "
+        f"{resolved.relative_to(REPO) if resolved.is_relative_to(REPO) else resolved}"
+        for lineno, target, resolved in _intra_repo_links(doc)
+        if not resolved.exists()
+    ]
+    assert not dead, "dead intra-repo links:\n" + "\n".join(dead)
+
+
+def test_docs_are_scanned_at_all():
+    """Guard the checker itself: the glob must find the doc set."""
+    names = {p.name for p in DOC_FILES}
+    assert "README.md" in names and "IR.md" in names
+    assert len(DOC_FILES) >= 8
