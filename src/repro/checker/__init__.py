@@ -17,13 +17,25 @@ Three layers, all operating on the explicit automaton formalism:
 * :mod:`repro.checker.weakmem` — weak-memory anomaly search: exhibit
   replayable consistency-violating or garbage-read traces under
   ``regular``/``safe`` register semantics (the HHT-style separation).
+* :mod:`repro.checker.statespace` (+ :mod:`~repro.checker.fingerprint`,
+  :mod:`~repro.checker.reduction`) — the scalable engine: fingerprinted
+  table-IR BFS with verified symmetry canonicalization, sleep-set
+  partial-order reduction, and a sharded parallel frontier
+  (docs/CHECKER.md).
 """
 
 from repro.checker.explorer import ConfigGraph, Successor, explore, successors
+from repro.checker.fingerprint import ZobristTable, stable_token
 from repro.checker.properties import (
     SafetyReport,
     validate_run,
     verify_safety,
+)
+from repro.checker.reduction import SymmetryGroup, discover_symmetry
+from repro.checker.statespace import (
+    ExploreReport,
+    StateSpaceEngine,
+    explore_fast,
 )
 from repro.checker.weakmem import (
     AnomalyWitness,
@@ -43,6 +55,13 @@ __all__ = [
     "Successor",
     "explore",
     "successors",
+    "ExploreReport",
+    "StateSpaceEngine",
+    "explore_fast",
+    "ZobristTable",
+    "stable_token",
+    "SymmetryGroup",
+    "discover_symmetry",
     "SafetyReport",
     "validate_run",
     "verify_safety",

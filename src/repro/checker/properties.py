@@ -112,6 +112,10 @@ def verify_safety(
     max_states: int = 500_000,
     memory=None,
     engine: Optional[str] = None,
+    symmetry: bool = False,
+    por: bool = False,
+    workers: int = 1,
+    exact: bool = False,
 ) -> SafetyReport:
     """Exhaustively check consistency and nontriviality.
 
@@ -130,10 +134,35 @@ def verify_safety(
     property holds against scheduling, coins *and* adversary read-value
     choices (see :mod:`repro.checker.weakmem` for witness extraction).
 
-    ``engine`` selects the explorer backend (``"objects"`` or
-    ``"tables"`` — see :func:`repro.checker.explorer.explore`); the
-    verdict is identical either way because the graphs are.
+    ``engine`` selects the backend: ``"objects"`` or ``"tables"`` walk
+    the materialized graph (:func:`repro.checker.explorer.explore` —
+    identical graphs, identical verdicts), while ``"fingerprints"``
+    runs the scalable fingerprinted search
+    (:func:`repro.checker.statespace.explore_fast`) with inline
+    checking and no graph — the only engine that scales to the
+    three-bounded protocol's full reachable space.  ``symmetry``/
+    ``por``/``workers``/``exact`` tune the fingerprints engine (see
+    docs/CHECKER.md) and are rejected elsewhere.
     """
+    if engine == "fingerprints":
+        from repro.checker.statespace import explore_fast
+
+        rep = explore_fast(
+            protocol, inputs, memory=memory, max_depth=max_depth,
+            max_states=max_states, symmetry=symmetry, por=por,
+            workers=workers, exact=exact,
+        )
+        return SafetyReport(
+            ok=rep.ok,
+            complete=rep.exhausted,
+            states_explored=rep.visited,
+            max_depth_reached=rep.depth,
+            violation=rep.violation,
+            witness=rep.witness,
+        )
+    if symmetry or por or workers != 1 or exact:
+        raise ValueError(
+            "symmetry/por/workers/exact require engine='fingerprints'")
     input_set = set(inputs)
     state: Dict[str, object] = {
         "violation": None, "witness": None, "max_depth": 0,

@@ -1,0 +1,321 @@
+"""State-space reductions: verified symmetry and sleep-set POR.
+
+Two classic explicit-state reductions (the TLC/Murphi toolbox),
+implemented over the table IR so the scalable checker
+(:mod:`repro.checker.statespace`) can apply them to packed integer
+configurations.  Soundness arguments live in docs/CHECKER.md §3-§4;
+the short versions:
+
+**Symmetry** — a processor permutation ``π`` induces an automorphism of
+the configuration graph only if the *step relation* commutes with it.
+Rather than assuming protocols are symmetric (the paper's protocols
+read their peers in sorted-pid order, which breaks naive positional
+symmetry for n ≥ 3 — see docs/CHECKER.md §3), this module *verifies*
+each candidate ``π`` against the closed tables: it attempts to build a
+total state bijection ``φ`` (sid → sid) and a slot bijection ``σ`` such
+that initial states, branch structure, write successors, read outcomes
+and decided outputs all transport along ``(π, φ, σ)``.  A permutation
+is admitted into the canonicalization group only if the construction
+succeeds, so canonicalizing with the discovered group is sound *by
+construction* — no symmetry assumption about the protocol is trusted.
+Requires closed compilation (the verification quantifies over every
+reachable state/value), hence unbounded protocols get symmetry
+disabled with a note, never silently wrong.
+
+**Partial order (sleep sets)** — steps of two processors whose
+register footprints do not conflict (no slot written by one is read or
+written by the other) commute: executing them in either order reaches
+the same configuration, and neither can enable or disable the other
+(enabledness of a processor depends only on its own state).  Sleep
+sets prune the second of each such commuting pair of interleavings.
+The variant here prunes *edges only* — every reachable configuration
+is still visited (whenever an edge ``s → p(s)`` is pruned, ``p`` was
+explorable at an earlier state of the same path and independent of
+everything since, so ``p(s)`` is reached via the commuted
+interleaving), which gives the stronger differential guarantee the
+tests assert: identical visited-state sets with the reduction on and
+off, not merely identical verdicts.  Sleep sets are only sound for
+full exploration under atomic memory: a depth budget can cut the
+commuted path short, and weak-memory pending writes make independence
+configuration-dependent; the engine disables the reduction (with a
+note) in both cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.lower import CompiledProtocol
+
+#: Candidate-group width guard: verifying all n! permutations is cheap
+#: for the paper's widths (n ≤ 5) and pointless beyond.
+MAX_SYMMETRY_PROCESSES = 6
+
+
+def candidate_permutations(protocol) -> Optional[List[Tuple[int, ...]]]:
+    """Non-identity processor permutations worth verifying.
+
+    Protocols may narrow the candidate set with a ``symmetry_candidates``
+    hook (see :meth:`repro.sim.process.Automaton.symmetry_candidates`);
+    the default is every non-identity permutation for small widths and
+    ``None`` (symmetry unavailable) beyond the guard.
+    """
+    hook = getattr(protocol, "symmetry_candidates", None)
+    if hook is not None:
+        candidates = hook()
+        # None means "no hint — use the default enumeration"; an
+        # explicit list (possibly empty) narrows or disables the search.
+        if candidates is not None:
+            return [tuple(perm) for perm in candidates]
+    n = protocol.n_processes
+    if n < 2 or n > MAX_SYMMETRY_PROCESSES:
+        return None
+    identity = tuple(range(n))
+    return [perm for perm in itertools.permutations(range(n))
+            if perm != identity]
+
+
+def slot_permutation(layout, perm: Sequence[int]) -> Optional[List[int]]:
+    """The slot bijection ``σ`` induced by processor permutation ``perm``.
+
+    Slot ``s`` must map to a slot whose writer/reader sets are exactly
+    the ``perm``-image of ``s``'s and whose initial value matches.  If
+    no image exists, or two slots are structurally indistinguishable
+    (ambiguous image), the permutation is rejected — conservative, but
+    the paper's single-writer registers always disambiguate.
+    """
+    specs = layout.specs
+    signature = {}
+    for slot, spec in enumerate(specs):
+        sig = (tuple(sorted(spec.writers)), tuple(sorted(spec.readers)),
+               spec.initial)
+        if sig in signature:
+            return None  # ambiguous: two structurally identical slots
+        signature[sig] = slot
+    sigma: List[int] = []
+    for spec in specs:
+        image = (tuple(sorted(perm[w] for w in spec.writers)),
+                 tuple(sorted(perm[r] for r in spec.readers)),
+                 spec.initial)
+        target = signature.get(image)
+        if target is None:
+            return None
+        sigma.append(target)
+    return sigma
+
+
+def _discover_phi(cp: CompiledProtocol, perm: Sequence[int],
+                  sigma: Sequence[int]) -> Optional[Dict[int, int]]:
+    """Try to build the state bijection ``φ`` transporting ``perm``.
+
+    Constraint propagation from the initial states: pair ``(a, b)``
+    asserts ``φ(a) = b``; each paired state's invariants are checked
+    (owning pid transports along ``perm``, decided output vid is
+    preserved, branch lists are structurally parallel with slots
+    transported along ``sigma``) and its successors generate new
+    pairs.  Any conflict — including non-injectivity — refutes the
+    permutation.  Decision and register *values* are never permuted:
+    the paper's symmetry is over processors, not over the input
+    alphabet.
+    """
+    phi: Dict[int, int] = {}
+    inverse: Dict[int, int] = {}
+    queue: List[int] = []
+
+    def pair(a: int, b: int) -> bool:
+        cur = phi.get(a)
+        if cur is not None:
+            return cur == b
+        if inverse.get(b, a) != a:
+            return False
+        phi[a] = b
+        inverse[b] = a
+        queue.append(a)
+        return True
+
+    try:
+        for (pid, value), sid in list(cp._initial_ids.items()):
+            if not pair(sid, cp.initial_sid(perm[pid], value)):
+                return None
+        while queue:
+            a = queue.pop()
+            b = phi[a]
+            if cp.state_pid[b] != perm[cp.state_pid[a]]:
+                return None
+            out_a, out_b = cp.state_out[a], cp.state_out[b]
+            if out_a >= 0 or out_b >= 0:
+                if out_a != out_b:
+                    return None
+                continue  # decided states have no branches
+            cp.ensure_compiled(a)
+            cp.ensure_compiled(b)
+            nb = cp.state_nb[a]
+            if nb != cp.state_nb[b]:
+                return None
+            base_a, base_b = cp.state_base[a], cp.state_base[b]
+            for i in range(nb):
+                x, y = base_a + i, base_b + i
+                if cp.br_is_read[x] != cp.br_is_read[y]:
+                    return None
+                if cp.br_prob[x] != cp.br_prob[y]:
+                    return None
+                if sigma[cp.br_slot[x]] != cp.br_slot[y]:
+                    return None
+                if cp.br_is_read[x]:
+                    for vid, nxt in list(cp.br_read_out[x].items()):
+                        if not pair(nxt, cp.read_outcome(y, vid)):
+                            return None
+                else:
+                    if cp.br_write[x] != cp.br_write[y]:
+                        return None
+                    if not pair(cp.br_write_next[x],
+                                cp.br_write_next[y]):
+                        return None
+    except Exception:
+        # observe() on a value the image branch never sees, or an
+        # interning-budget hit (IRCompileError) while chasing the image
+        # world — either way the permutation is not a verified
+        # automorphism.
+        return None
+    return phi
+
+
+@dataclasses.dataclass
+class SymmetryGroup:
+    """The verified automorphism group used for canonicalization.
+
+    ``perms``/``phis``/``sigmas`` are aligned lists of the *non-identity*
+    verified permutations with their state and slot bijections;
+    ``order`` counts the identity too.  ``note`` records why the group
+    is smaller than requested (unbounded protocol, sorted-order reads,
+    ambiguous slots, ...) for reports and docs-honesty.
+    """
+
+    n_processes: int
+    perms: List[Tuple[int, ...]]
+    phis: List[List[int]]
+    sigmas: List[List[int]]
+    note: Optional[str] = None
+
+    @property
+    def order(self) -> int:
+        return len(self.perms) + 1
+
+    def canonical(self, sids: Tuple[int, ...], regs: Tuple[int, ...],
+                  pend: Tuple[Tuple[int, int, int], ...] = ()) \
+            -> Tuple[Tuple[int, ...], Tuple[int, ...],
+                     Tuple[Tuple[int, int, int], ...]]:
+        """Lexicographically-least element of the configuration's orbit."""
+        best = (sids, regs, pend)
+        n = self.n_processes
+        for perm, phi, sigma in zip(self.perms, self.phis, self.sigmas):
+            new_sids = [0] * n
+            for p in range(n):
+                new_sids[perm[p]] = phi[sids[p]]
+            new_regs = [0] * len(regs)
+            for slot, vid in enumerate(regs):
+                new_regs[sigma[slot]] = vid
+            candidate = (tuple(new_sids), tuple(new_regs),
+                         tuple(sorted((perm[w], sigma[s], v)
+                                      for w, s, v in pend)))
+            if candidate < best:
+                best = candidate
+        return best
+
+
+def discover_symmetry(cp: CompiledProtocol, protocol) -> SymmetryGroup:
+    """Verify candidate permutations against the *closed* tables.
+
+    Every admitted permutation carries a machine-checked certificate
+    (its ``φ``/``σ`` bijections); a trivial result is a finding, not a
+    failure — the sorted-pid peer reads of the paper's n ≥ 3 protocols
+    genuinely admit no nontrivial step-level automorphism
+    (docs/CHECKER.md §3).
+    """
+    n = protocol.n_processes
+    candidates = candidate_permutations(protocol)
+    if candidates is None:
+        return SymmetryGroup(n, [], [], [],
+                             note=f"no candidate permutations (width "
+                                  f"{n} outside the verification guard)")
+    perms: List[Tuple[int, ...]] = []
+    phis: List[List[int]] = []
+    sigmas: List[List[int]] = []
+    rejected = 0
+    for perm in candidates:
+        sigma = slot_permutation(cp.layout, perm)
+        if sigma is None:
+            rejected += 1
+            continue
+        phi = _discover_phi(cp, perm, sigma)
+        if phi is None:
+            rejected += 1
+            continue
+        # φ discovery may have interned image-world states; make the
+        # list total over the final universe (identity off-orbit is
+        # safe: canonical() only consults sids that occur in reachable
+        # configurations, all of which are in φ's domain by the
+        # fixpoint — the padding only avoids IndexError on width).
+        table = list(range(cp.n_states))
+        for a, b in phi.items():
+            table[a] = b
+        perms.append(tuple(perm))
+        phis.append(table)
+        sigmas.append(sigma)
+    note = None
+    if rejected and not perms:
+        note = (f"all {rejected} candidate permutations refuted by the "
+                f"tables (the protocol's step relation is asymmetric — "
+                f"e.g. sorted-pid peer reads; docs/CHECKER.md §3)")
+    elif rejected:
+        note = f"{rejected} candidate permutations refuted, {len(perms)} verified"
+    return SymmetryGroup(n, perms, phis, sigmas, note=note)
+
+
+class PorFootprints:
+    """Per-state register footprints and pid-level independence.
+
+    The footprint of state ``sid`` is the pair of slot sets its branch
+    distribution may read/write *this step*.  Two processors' current
+    steps are independent iff neither's write set intersects the
+    other's read-or-write set; since a processor's enabledness and
+    branch list depend only on its own state, independent steps
+    commute and stay co-enabled (docs/CHECKER.md §4).
+    """
+
+    def __init__(self, cp: CompiledProtocol) -> None:
+        self.cp = cp
+        self._foot: Dict[int, Tuple[frozenset, frozenset]] = {}
+        self._indep: Dict[Tuple[int, int], bool] = {}
+
+    def footprint(self, sid: int) -> Tuple[frozenset, frozenset]:
+        foot = self._foot.get(sid)
+        if foot is None:
+            cp = self.cp
+            reads = set()
+            writes = set()
+            if cp.state_out[sid] < 0:
+                if cp.state_nb[sid] < 0:
+                    cp.ensure_compiled(sid)
+                base = cp.state_base[sid]
+                for b in range(base, base + cp.state_nb[sid]):
+                    if cp.br_is_read[b]:
+                        reads.add(cp.br_slot[b])
+                    else:
+                        writes.add(cp.br_slot[b])
+            foot = self._foot[sid] = (frozenset(reads), frozenset(writes))
+        return foot
+
+    def independent(self, sid_a: int, sid_b: int) -> bool:
+        key = (sid_a, sid_b) if sid_a <= sid_b else (sid_b, sid_a)
+        verdict = self._indep.get(key)
+        if verdict is None:
+            reads_a, writes_a = self.footprint(sid_a)
+            reads_b, writes_b = self.footprint(sid_b)
+            verdict = self._indep[key] = (
+                not (writes_a & (reads_b | writes_b))
+                and not (writes_b & (reads_a | writes_a))
+            )
+        return verdict

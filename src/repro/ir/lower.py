@@ -419,13 +419,44 @@ class CompiledProtocol:
         return self.state_obj[sid]
 
     def decode_configuration(self, sids: Sequence[int],
-                             reg_vids: Sequence[int]) -> Configuration:
-        """Rebuild the object-level :class:`Configuration` of an IR one."""
+                             reg_vids: Sequence[int],
+                             pend: Sequence[Tuple[int, int, int]] = ()) \
+            -> Configuration:
+        """Rebuild the object-level :class:`Configuration` of an IR one.
+
+        ``pend`` carries the packed weak-memory pending-write triples
+        ``(writer, slot, vid)`` in writer order; it decodes to the
+        :attr:`Configuration.mem` snapshot shape (``None`` when empty),
+        matching :meth:`repro.sim.memory.RegularMemory.snapshot`.
+        """
         return Configuration(
             states=tuple(self.state_obj[s] for s in sids),
             registers=tuple(self.values[v] for v in reg_vids),
-            mem=None,
+            mem=(tuple((w, s, self.values[v]) for w, s, v in pend)
+                 if pend else None),
         )
+
+    def encode_configuration(self, config: Configuration) \
+            -> Tuple[Tuple[int, ...], Tuple[int, ...],
+                     Tuple[Tuple[int, int, int], ...]]:
+        """Pack an object-level configuration into interned vectors.
+
+        The inverse of :meth:`decode_configuration`: per-processor
+        state ids, per-slot value ids, and the pending-write triples
+        ``(writer, slot, vid)`` (empty for atomic/quiescent
+        configurations).  Interns on demand, so encoding a
+        configuration the tables have never seen is legal — the
+        differential suites use this to fingerprint object-BFS graphs
+        through the same tables the fingerprint engine used.
+        """
+        sids = tuple(self.intern_state(pid, state)
+                     for pid, state in enumerate(config.states))
+        regs = tuple(self.intern_value(v) for v in config.registers)
+        pend: Tuple[Tuple[int, int, int], ...] = ()
+        if config.mem is not None:
+            pend = tuple((w, s, self.intern_value(v))
+                         for w, s, v in config.mem)
+        return sids, regs, pend
 
     def describe(self) -> Dict[str, int]:
         """Table sizes, for logs/benchmarks and the CLI."""

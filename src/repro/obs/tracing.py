@@ -328,7 +328,8 @@ class Tracer(BaseSink):
 
     def record_explore(self, protocol_name: str, n_configs: int,
                        n_edges: int, depth: int, complete: bool,
-                       seconds: Optional[float] = None) -> Span:
+                       seconds: Optional[float] = None,
+                       n_frontier: Optional[int] = None) -> Span:
         """Record a ``checker.explore`` span for one BFS exploration.
 
         The checker is not a kernel run, so this span is its trace's
@@ -338,6 +339,8 @@ class Tracer(BaseSink):
         from the tracer's sequential counter.  ``seconds`` (measured by
         the caller) lands as ``wall_us`` only when the tracer was built
         with a clock, keeping default traces replay-identical.
+        ``n_frontier`` is the number of unexpanded configurations left
+        behind by a budget-truncated search (0 when exhaustive).
         """
         if not self._have_key:
             self._root_seed = 0
@@ -349,9 +352,12 @@ class Tracer(BaseSink):
         attrs: Dict[str, Any] = {
             "protocol": protocol_name,
             "configs": n_configs,
+            "visited": n_configs,
             "edges": n_edges,
             "complete": complete,
         }
+        if n_frontier is not None:
+            attrs["frontier"] = n_frontier
         if self._clock is not None and seconds is not None:
             attrs["wall_us"] = seconds * 1e6
         span = self._next_span("checker.explore", "checker", None,

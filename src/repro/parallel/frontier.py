@@ -1,0 +1,280 @@
+"""Sharded BFS frontier for the fingerprinted checker.
+
+One level of the level-synchronous search in
+:func:`repro.checker.statespace.explore_fast` is an embarrassingly
+parallel map: every frontier configuration can be expanded
+independently, and only the visited-set merge needs coordination.  This
+module fans a level across a ``spawn`` process pool (the same engine
+discipline as :mod:`repro.parallel.engine`: picklable specs checked at
+submission, module-level worker functions, deterministic merge order)
+and hands the shard results back to the parent, which owns the global
+visited set.
+
+Determinism contract (docs/CHECKER.md §5)
+-----------------------------------------
+
+Configurations cross the process boundary *decoded* — as state/value
+object tuples, never as interned integer ids — because each worker
+interns into its own :class:`~repro.ir.lower.CompiledProtocol` and two
+workers that discover states in different orders assign different ids
+to the same state.  Fingerprints are content-derived
+(:mod:`repro.checker.fingerprint`), so a worker's fingerprint of a
+configuration equals the parent's and every other worker's.  The parent
+merges shard results *in shard order* (``Pool.map`` preserves task
+order), so for a non-violating search the visited set — and therefore
+the report — is identical at any worker count, including ``workers=1``
+serial.  On a violating search the first violation in shard order wins,
+which is deterministic for a fixed worker count but may differ from the
+serial engine's first-in-BFS-order violation.
+
+``spill_dir`` routes each shard's item payload through a pickle file
+instead of the task pipe — the disk-backed variant for levels too
+large to hold twice in memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
+
+#: A shard below this many items is not worth a task round-trip.
+MIN_ITEMS_PER_SHARD = 64
+
+#: Tasks per worker per level — oversharding evens out load imbalance
+#: between frontier regions of different branching factor.
+OVERSHARD = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierSpec:
+    """Everything a worker needs to rebuild the parent's engine.
+
+    ``factory`` is a picklable protocol factory (e.g.
+    :class:`repro.parallel.tasks.ProtocolSpec`); the reduction flags
+    are the parent's *resolved* settings, so the worker's engine —
+    rebuilt independently — applies the same canonicalization and
+    pruning and produces content-identical fingerprints.
+    """
+
+    factory: Callable[[], Any]
+    inputs: Tuple[Hashable, ...]
+    memory: str
+    exact: bool
+    symmetry: bool
+    por: bool
+    fingerprint_seed: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierShardTask:
+    """One shard of one BFS level, in decoded (picklable) form."""
+
+    shard: int
+    depth: int
+    items: Optional[Tuple[Tuple, ...]]
+    path: Optional[str] = None  # spill file holding ``items`` instead
+
+
+@dataclasses.dataclass
+class FrontierShardResult:
+    """A worker's expansion of one shard.
+
+    ``successors`` entries are ``(states, reg_values, mem, mask, fp)``
+    where ``fp`` is the content-derived fingerprint (``None`` in exact
+    mode — the parent keys exact sets with its own packed vectors);
+    ``violations`` are decoded ``(message, states, regs, mem)`` records.
+    """
+
+    shard: int
+    edges: int
+    pruned: int
+    successors: List[Tuple]
+    violations: List[Tuple]
+
+
+_WORKER_ENGINE = None
+_WORKER_SPEC: Optional[FrontierSpec] = None
+
+
+def _engine_from_spec(spec: FrontierSpec):
+    from repro.checker.statespace import StateSpaceEngine
+
+    return StateSpaceEngine(
+        spec.factory(), spec.inputs, spec.memory, exact=spec.exact,
+        symmetry=spec.symmetry, por=spec.por,
+        fingerprint_seed=spec.fingerprint_seed)
+
+
+def _init_frontier_worker(spec: FrontierSpec) -> None:
+    """Pool initializer: build the shard engine once per worker."""
+    global _WORKER_ENGINE, _WORKER_SPEC
+    _WORKER_ENGINE = _engine_from_spec(spec)
+    _WORKER_SPEC = spec
+
+
+def _expand_frontier_shard(task: FrontierShardTask) -> FrontierShardResult:
+    """Expand one shard against a worker-local (empty) visited set.
+
+    Local dedup only trims the transport volume; the authoritative
+    dedup — against states visited at *any* level by *any* shard — is
+    the parent merge.  Module-level so it pickles under ``spawn``.
+    """
+    engine = _WORKER_ENGINE
+    assert engine is not None, "frontier worker used without initializer"
+    items = task.items
+    if task.path is not None:
+        with open(task.path, "rb") as fh:
+            items = pickle.load(fh)
+    packed = [engine.encode_item(item) for item in items]
+    visited: Any = {} if engine.por else set()
+    next_items: List[Tuple] = []
+    edges, pruned, violations, _ = engine.expand_level(
+        packed, visited, next_items, task.depth, None)
+    fp_mode = not engine.exact
+    successors = [
+        engine.decode_item(item) + ((item[3] if fp_mode else None),)
+        for item in next_items
+    ]
+    return FrontierShardResult(task.shard, edges, pruned,
+                               successors, violations)
+
+
+class FrontierPool:
+    """A persistent worker pool expanding BFS levels for one search.
+
+    Mirrors :meth:`repro.checker.statespace.StateSpaceEngine.
+    expand_level`'s contract so the serial and sharded paths are
+    interchangeable inside ``explore_fast``; the parent keeps sole
+    ownership of the global visited set and applies shard results in
+    shard order.
+    """
+
+    def __init__(self, engine, workers: int,
+                 spill_dir: Optional[str] = None,
+                 protocol_factory: Optional[Callable[[], Any]] = None,
+                 mp_context: str = "spawn") -> None:
+        import multiprocessing
+
+        factory = protocol_factory
+        if factory is None:
+            factory = _ConstFactory(engine.protocol)
+        spec = FrontierSpec(
+            factory=factory,
+            inputs=engine.inputs,
+            memory=engine.spec.name,
+            exact=engine.exact,
+            symmetry=engine.group is not None,
+            por=engine.por,
+            fingerprint_seed=engine.fingerprint_seed,
+        )
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise ValueError(
+                "frontier workers need a picklable protocol factory — "
+                "pass protocol_factory= (e.g. repro.parallel.tasks."
+                f"ProtocolSpec) [pickle said: {exc}]") from exc
+        self.engine = engine
+        self.workers = workers
+        self.spill_dir = spill_dir
+        self._spill_seq = 0
+        ctx = multiprocessing.get_context(mp_context)
+        self._pool = ctx.Pool(processes=workers,
+                              initializer=_init_frontier_worker,
+                              initargs=(spec,))
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def _make_tasks(self, items: Sequence[Tuple],
+                    depth: int) -> Tuple[List[FrontierShardTask], List[str]]:
+        decoded = [self.engine.decode_item(item) for item in items]
+        n_shards = max(1, min(self.workers * OVERSHARD,
+                              len(decoded) // MIN_ITEMS_PER_SHARD or 1))
+        chunk = (len(decoded) + n_shards - 1) // n_shards
+        tasks: List[FrontierShardTask] = []
+        spill_paths: List[str] = []
+        for shard, start in enumerate(range(0, len(decoded), chunk)):
+            payload = tuple(decoded[start:start + chunk])
+            if self.spill_dir is not None:
+                self._spill_seq += 1
+                path = os.path.join(
+                    self.spill_dir,
+                    f"frontier-{os.getpid()}-d{depth}-"
+                    f"{self._spill_seq}.pkl")
+                with open(path, "wb") as fh:
+                    pickle.dump(payload, fh)
+                spill_paths.append(path)
+                tasks.append(FrontierShardTask(shard, depth, None, path))
+            else:
+                tasks.append(FrontierShardTask(shard, depth, payload))
+        return tasks, spill_paths
+
+    def expand_level(self, items: Sequence[Tuple], visited,
+                     next_items: List[Tuple], depth: int,
+                     max_states: Optional[int]) -> Tuple:
+        """Expand ``items`` via the pool; merge results in shard order.
+
+        Same return shape as the engine's ``expand_level``; a state-
+        budget refusal reports ``stopped = len(items)`` (the whole level
+        was expanded, but not every successor could be admitted).
+        """
+        engine = self.engine
+        tasks, spill_paths = self._make_tasks(items, depth)
+        try:
+            results = self._pool.map(_expand_frontier_shard, tasks)
+        finally:
+            for path in spill_paths:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+        edges = 0
+        pruned = 0
+        violations: List[Tuple] = []
+        por = engine.por
+        exact = engine.exact
+        for result in results:
+            edges += result.edges
+            pruned += result.pruned
+            if result.violations and not violations:
+                violations.extend(result.violations)
+            for states, regs, mem, mask, fp in result.successors:
+                if not exact and not por and fp in visited:
+                    continue
+                packed = engine.encode_item((states, regs, mem, mask))
+                key = packed[3]
+                if por:
+                    old = visited.get(key)
+                    if old is None:
+                        if max_states is not None \
+                                and len(visited) >= max_states:
+                            return edges, pruned, violations, len(items)
+                        visited[key] = mask
+                        next_items.append(packed)
+                    elif old & mask != old:
+                        merged = old & mask
+                        visited[key] = merged
+                        next_items.append(packed[:4] + (merged,))
+                else:
+                    if key in visited:
+                        continue
+                    if max_states is not None \
+                            and len(visited) >= max_states:
+                        return edges, pruned, violations, len(items)
+                    visited.add(key)
+                    next_items.append(packed)
+        return edges, pruned, violations, None
+
+
+@dataclasses.dataclass(frozen=True)
+class _ConstFactory:
+    """Wrap an already-built protocol as a factory (pickled by value)."""
+
+    protocol: Any
+
+    def __call__(self):
+        return self.protocol

@@ -133,6 +133,20 @@ class Automaton(abc.ABC):
         """Human-readable rendering of a state, used in traces and demos."""
         return repr(state)
 
+    def symmetry_candidates(self) -> Optional[Sequence[Sequence[int]]]:
+        """Processor permutations worth testing for symmetry reduction.
+
+        The checker's symmetry reduction (:mod:`repro.checker.
+        reduction`) never *trusts* a candidate — each one is verified
+        against the protocol's compiled step tables and admitted only
+        with a machine-checked automorphism certificate — so this hook
+        is purely a search-space hint.  Return ``None`` (the default)
+        to let the checker enumerate all permutations for small widths;
+        return an explicit (possibly empty) list to narrow or disable
+        the search for protocols known to be asymmetric.
+        """
+        return None
+
     @property
     def name(self) -> str:
         """Protocol name used in reports."""
