@@ -93,7 +93,7 @@ def timed_fast_batch(protocol, inputs, sched_name, streams, cache,
     for sched_rng, kernel_rng in streams:
         sim = Simulation(protocol, inputs,
                          make_scheduler(sched_name, sched_rng),
-                         kernel_rng, fast=True, cache=cache)
+                         kernel_rng, engine="fast", cache=cache)
         append(sim.run(max_steps))
     return perf_counter() - t0, results
 

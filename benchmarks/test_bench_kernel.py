@@ -2,7 +2,8 @@
 
 PR 3's tentpole rebuilt the kernel hot path around a per-protocol
 :class:`~repro.sim.transitions.TransitionCache` and mutable run-local
-buffers; the reference path (``Simulation(..., fast=False)``) preserves
+buffers; the reference path (``Simulation(..., engine="reference")``)
+preserves
 the seed kernel verbatim.  This benchmark measures Monte-Carlo batch
 throughput (steps/second) on both engines for a two-processor and a
 three-processor bounded protocol under the random scheduler, asserts
@@ -60,24 +61,24 @@ def build_streams(seed=SEED, n_runs=N_RUNS):
     return streams
 
 
-def timed_batch(protocol, inputs, streams, fast, cache=None):
+def timed_batch(protocol, inputs, streams, engine, cache=None):
     """Run one batch over prebuilt streams; returns (seconds, results)."""
     results = []
     append = results.append
     t0 = perf_counter()
     for sched_rng, kernel_rng in streams:
         sim = Simulation(protocol, inputs, RandomScheduler(sched_rng),
-                         kernel_rng, fast=fast, cache=cache)
+                         kernel_rng, engine=engine, cache=cache)
         append(sim.run(MAX_STEPS))
     return perf_counter() - t0, results
 
 
-def best_of(protocol, inputs, fast, cache=None):
+def best_of(protocol, inputs, engine, cache=None):
     """Best-of-REPS batch time; results come from the first repetition."""
     best_t, first_results = None, None
     for _ in range(REPS):
         streams = build_streams()  # fresh (stateful) streams per rep
-        t, results = timed_batch(protocol, inputs, streams, fast, cache)
+        t, results = timed_batch(protocol, inputs, streams, engine, cache)
         if first_results is None:
             first_results = results
         if best_t is None or t < best_t:
@@ -101,7 +102,7 @@ def test_bench_kernel_fast_path(benchmark, report):
     for name, (factory, inputs) in CASES.items():
         protocol = factory()
         warm = build_streams(seed=7, n_runs=300)
-        timed_batch(protocol, inputs, warm, fast=True,
+        timed_batch(protocol, inputs, warm, engine="fast",
                     cache=TransitionCache(protocol))
 
     def run_all():
@@ -109,9 +110,10 @@ def test_bench_kernel_fast_path(benchmark, report):
         for name, (factory, inputs) in CASES.items():
             protocol = factory()
             cache = TransitionCache(protocol)
-            t_fast, res_fast = best_of(protocol, inputs, fast=True,
+            t_fast, res_fast = best_of(protocol, inputs, engine="fast",
                                        cache=cache)
-            t_ref, res_ref = best_of(protocol, inputs, fast=False)
+            t_ref, res_ref = best_of(protocol, inputs,
+                                     engine="reference")
             out[name] = (t_fast, t_ref, res_fast, res_ref)
         return out
 

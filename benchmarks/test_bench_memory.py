@@ -184,16 +184,16 @@ def test_bench_memory_atomic_overhead(benchmark, report):
             # Interleave repetitions so host noise hits both engines
             # evenly; keep the best wall time of each.
             for _ in range(REPS):
-                for engine in ("pr3", "atomic"):
+                for cell in ("pr3", "atomic"):
                     streams = build_streams()
                     t, res = timed_batch(
                         protocol, inputs, streams, cache,
-                        engine="pr3" if engine == "pr3" else "live",
+                        engine="pr3" if cell == "pr3" else "live",
                         memory=None)
-                    if engine not in results:
-                        results[engine] = res
-                    if times[engine] is None or t < times[engine]:
-                        times[engine] = t
+                    if cell not in results:
+                        results[cell] = res
+                    if times[cell] is None or t < times[cell]:
+                        times[cell] = t
             # Informational: the weak models' bookkeeping cost.
             weak = {}
             for semantics in ("regular", "safe"):

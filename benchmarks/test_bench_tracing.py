@@ -77,7 +77,7 @@ def timed_batch(streams, cache, sink_factory=None):
     t0 = perf_counter()
     for sched_rng, kernel_rng in streams:
         sim = Simulation(protocol, INPUTS, RandomScheduler(sched_rng),
-                         kernel_rng, fast=True, cache=cache,
+                         kernel_rng, engine="fast", cache=cache,
                          sinks=sinks)
         append(sim.run(MAX_STEPS))
     return perf_counter() - t0, results

@@ -35,6 +35,16 @@ Package map
     Kernel observability: event hooks, streaming metrics (counters /
     gauges / percentile histograms), JSONL run journals, and phase
     timers — see ``docs/OBSERVABILITY.md``.
+``repro.spec``
+    The canonical :class:`~repro.spec.RunSpec`: one frozen, picklable
+    description of a run with a stable content hash — see
+    ``docs/API.md``.
+``repro.engines``
+    The engine registry: sim and checker engines with capability
+    flags, the single validation point for every engine selection.
+``repro.store``
+    Content-addressed run store: crash-safe shard commits, resumable
+    sweeps, warm-cache repeats — see ``docs/STORE.md``.
 
 Quickstart
 ----------
@@ -65,6 +75,8 @@ from repro.errors import (
 )
 from repro.obs import JsonlJournal, MetricsRegistry, PhaseTimer
 from repro.sim import BOTTOM, ExperimentRunner, ReplayableRng, Simulation
+from repro.spec import ObsOptions, RunSpec, SpecError
+from repro.store import RunStore, StoreError, StoreStats
 
 __version__ = "1.1.0"
 
@@ -87,8 +99,14 @@ __all__ = [
     "ExperimentRunner",
     "JsonlJournal",
     "MetricsRegistry",
+    "ObsOptions",
     "PhaseTimer",
     "ReplayableRng",
+    "RunSpec",
+    "RunStore",
     "Simulation",
+    "SpecError",
+    "StoreError",
+    "StoreStats",
     "__version__",
 ]

@@ -488,12 +488,20 @@ def explore(
         materialized graph), see :func:`repro.checker.statespace.
         explore_fast`.
     """
-    if engine == "tables":
+    from repro.engines import UnknownEngineError, resolve_engine
+
+    info = resolve_engine("checker", engine)
+    if info.batch_shape != "graph":
+        # Registered, but does not materialize a ConfigGraph — point at
+        # the summary-report surfaces instead of claiming "unknown".
+        raise UnknownEngineError(
+            f"checker engine {info.name!r} does not materialize a "
+            f"ConfigGraph; use verify_safety(engine={info.name!r}) or "
+            f"repro.checker.statespace.explore_fast for the summary "
+            f"report")
+    if info.name == "tables":
         return _explore_tables(protocol, inputs, max_depth, max_states,
                                on_node, memory_spec(memory), tracer)
-    if engine not in (None, "objects"):
-        raise ValueError(
-            f"unknown engine {engine!r}: expected 'objects' or 'tables'")
     t0 = _perf_counter() if tracer is not None else 0.0
     # One TransitionCache for the whole BFS: (pid, state) pairs recur
     # across configurations far more often than in a single run, so

@@ -144,6 +144,14 @@ def verify_safety(
     ``por``/``workers``/``exact`` tune the fingerprints engine (see
     docs/CHECKER.md) and are rejected elsewhere.
     """
+    from repro.engines import resolve_engine
+
+    info = resolve_engine("checker", engine)
+    engine = info.name
+    if (symmetry or por or workers != 1 or exact) and not info.reductions:
+        raise ValueError(
+            "symmetry/por/workers/exact require engine='fingerprints' "
+            f"(engine {engine!r} has no reduction support)")
     if engine == "fingerprints":
         from repro.checker.statespace import explore_fast
 
@@ -160,9 +168,6 @@ def verify_safety(
             violation=rep.violation,
             witness=rep.witness,
         )
-    if symmetry or por or workers != 1 or exact:
-        raise ValueError(
-            "symmetry/por/workers/exact require engine='fingerprints'")
     input_set = set(inputs)
     state: Dict[str, object] = {
         "violation": None, "witness": None, "max_depth": 0,

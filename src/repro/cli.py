@@ -16,7 +16,14 @@ Subcommands map one-to-one onto the library's main entry points:
   attached and print its deterministic span tree;
 * ``top``            — follow a sweep's live telemetry file (one row
   per shard: progress, steps/s, ETA, tail percentiles);
-* ``journal verify`` — check a JSONL journal for truncation or damage.
+* ``journal verify`` — check a JSONL journal for truncation or damage;
+* ``store``          — inspect or garbage-collect a content-addressed
+  run store (``ls``/``show``/``gc``; see docs/STORE.md).
+
+Every ``--engine`` flag below validates through the engine registry
+(:mod:`repro.engines`): the accepted vocabulary, the default, and the
+did-you-mean error for typos all come from the registry rather than
+per-command hardcoded lists.
 
 Examples::
 
@@ -30,11 +37,16 @@ Examples::
     python -m repro tower --seeds 20
     python -m repro report --protocol two --runs 5000
     python -m repro report --runs 100000 --workers 8 --telemetry top.jsonl
+    python -m repro report --runs 100000 --store runs/ --workers 8
+    python -m repro report --runs 100000 --store runs/ --resume
     python -m repro report --from-journal run.jsonl
     python -m repro report --runs 200 --profile --folded profile.folded
     python -m repro trace --seed 42 --index 7
     python -m repro top top.jsonl --follow
     python -m repro journal verify run.jsonl
+    python -m repro store ls runs/
+    python -m repro store show runs/ 260585
+    python -m repro store gc runs/ --keep 260585 --dry-run
 """
 
 from __future__ import annotations
@@ -42,6 +54,32 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional, Sequence
+
+
+def _engine_argument(parser: argparse.ArgumentParser, kind: str,
+                     detail: str) -> None:
+    """Add a registry-driven ``--engine`` flag for one engine kind.
+
+    The accepted names, the advertised default, and the rejection
+    message (with its did-you-mean suggestion) all come from
+    :mod:`repro.engines` — the CLI holds no engine vocabulary of its
+    own.
+    """
+    from repro.engines import default_engine, engine_names
+
+    def validate(name: str) -> str:
+        from repro.engines import UnknownEngineError, resolve_engine
+
+        try:
+            return resolve_engine(kind, name).name
+        except UnknownEngineError as exc:
+            raise argparse.ArgumentTypeError(str(exc))
+
+    parser.add_argument(
+        "--engine", default=None, type=validate,
+        metavar="{" + ",".join(engine_names(kind)) + "}",
+        help=(f"{detail} (default: "
+              f"{default_engine(kind).name})"))
 
 
 def _build_protocol(name: str, n_inputs: int):
@@ -364,6 +402,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         seed=args.seed,
         sinks=(tracer,),
         memory=args.memory,
+        engine=args.engine,
     )
     runner.run_one(args.index, args.max_steps)
     spans = tracer.trace()
@@ -408,6 +447,41 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import RunStore, StoreError
+
+    try:
+        store = RunStore(args.root)
+        if args.store_command == "ls":
+            entries = store.ls()
+            if not entries:
+                print("(empty store)")
+                return 0
+            for e in entries:
+                seeds = ",".join(map(str, e.seeds))
+                print(f"{e.spec_hash[:12]}  {e.n_shards:>4} shards  "
+                      f"{e.n_runs:>8} runs  {e.bytes:>10} B  "
+                      f"seeds={seeds}  {e.describe}")
+            return 0
+        if args.store_command == "show":
+            import json
+
+            print(json.dumps(store.show(args.spec_hash), indent=2,
+                             sort_keys=True))
+            return 0
+        # gc
+        keep = args.keep.split(",") if args.keep else None
+        removed = store.gc(keep=keep, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        if not removed:
+            print(f"{verb}: nothing")
+        for path in removed:
+            print(f"{verb}: {path}")
+        return 0
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_journal_verify(args: argparse.Namespace) -> int:
     from repro.obs import verify_journal
 
@@ -441,6 +515,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.folded and not args.profile:
         raise SystemExit("--folded needs --profile (it exports the "
                          "profiler's component attribution)")
+    if args.resume and not args.store:
+        raise SystemExit("--resume needs --store (it resumes from that "
+                         "store's committed shards)")
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        if args.timing or args.profile:
+            raise SystemExit("--store needs the sharded engine, which "
+                             "cannot host --timing/--profile sinks")
+        store = RunStore(args.store)
 
     inputs = tuple(args.inputs.split(","))
     protocol_name = args.protocol
@@ -453,6 +538,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
         profiler = TimeAttributionProfiler(
             (protocol_name, args.scheduler, args.memory))
     sinks = tuple(s for s in (metrics, timer, profiler) if s is not None)
+    if args.resume:
+        # Refuse to silently restart from scratch: the exact content
+        # address this sweep will run under must already hold shards.
+        from repro.spec import ObsOptions, RunSpec
+
+        probe = RunSpec(
+            protocol=ProtocolSpec(protocol_name, len(inputs)),
+            scheduler=SchedulerSpec(args.scheduler),
+            inputs=ConstantInputs(inputs),
+            memory=args.memory,
+            engine=args.engine,
+            max_steps=args.max_steps,
+            obs=ObsOptions(metrics=True,
+                           journal=args.journal is not None),
+        )
+        probe_hash = probe.spec_hash()
+        if not any(e.spec_hash == probe_hash and args.seed in e.seeds
+                   for e in store.ls()):
+            raise SystemExit(
+                f"--resume found no committed shards in {args.store!r} "
+                f"for this sweep (spec {probe_hash[:12]}…, seed "
+                f"{args.seed}); check the sweep parameters, or drop "
+                f"--resume to start it from scratch")
+
     runner = ExperimentRunner(
         protocol_factory=ProtocolSpec(protocol_name, len(inputs)),
         scheduler_factory=SchedulerSpec(args.scheduler),
@@ -469,6 +578,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         journal_path=args.journal,
         telemetry_path=args.telemetry,
+        store=store,
     )
 
     sharded = (f", {args.workers} workers"
@@ -495,6 +605,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if stats.journal_path is not None:
         print(f"\njournal: {stats.journal_path} "
               f"({stats.journal_events} events)")
+    if stats.store is not None:
+        acct = stats.store
+        print(f"\nstore: {args.store} (spec {acct.spec_hash[:12]})")
+        print(f"  shards: {acct.hits} from cache, {acct.misses} executed")
+        print(f"  runs:   {acct.runs_from_cache} from cache, "
+              f"{acct.runs_executed} executed")
     if args.telemetry:
         print(f"telemetry: {args.telemetry}")
     if args.json:
@@ -546,11 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["atomic", "regular", "safe"],
                    help="register semantics the run executes under "
                         "(see docs/MODEL.md)")
-    p.add_argument("--engine", default=None,
-                   choices=("fast", "reference", "vector"),
-                   help="execution backend (default: fast kernel; "
-                        "'vector' runs the compiled table IR — see "
-                        "docs/IR.md)")
+    _engine_argument(p, "sim",
+                     "execution backend; 'vector' runs the compiled "
+                     "table IR — see docs/IR.md")
     p.add_argument("--read-policy", default=None,
                    choices=["commit", "adversarial", "random"],
                    help="how the adversary resolves weak-memory reads "
@@ -570,13 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["atomic", "regular", "safe"],
                    help="register semantics to verify under; weak "
                         "semantics also search for an anomaly witness")
-    p.add_argument("--engine", default=None,
-                   choices=("objects", "tables", "fingerprints"),
-                   help="explorer backend: 'tables' steps the compiled "
-                        "IR (identical graph, any memory semantics); "
-                        "'fingerprints' runs the scalable fingerprinted "
-                        "search (docs/CHECKER.md) — identical verdict "
-                        "either way")
+    _engine_argument(p, "checker",
+                     "explorer backend: 'tables' steps the compiled "
+                     "IR (identical graph, any memory semantics); "
+                     "'fingerprints' runs the scalable fingerprinted "
+                     "search (docs/CHECKER.md) — identical verdict "
+                     "either way")
     p.add_argument("--symmetry", action="store_true",
                    help="canonicalize over the verified processor-"
                         "permutation group before fingerprinting "
@@ -645,11 +758,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", default="atomic",
                    choices=["atomic", "regular", "safe"],
                    help="register semantics every run executes under")
-    p.add_argument("--engine", default=None,
-                   choices=("fast", "reference", "vector"),
-                   help="execution backend (default: fast kernel; "
-                        "'vector' steps the whole batch in lockstep "
-                        "through the compiled table IR — see docs/IR.md)")
+    _engine_argument(p, "sim",
+                     "execution backend; 'vector' steps the whole "
+                     "batch in lockstep through the compiled table IR "
+                     "— see docs/IR.md")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="content-addressed run store: shards already "
+                        "committed for this exact sweep are loaded "
+                        "instead of executed, finished shards are "
+                        "committed as they complete (docs/STORE.md)")
+    p.add_argument("--resume", action="store_true",
+                   help="with --store: expect prior committed shards "
+                        "for this sweep and fail if there are none "
+                        "(guards against silently restarting from "
+                        "scratch after a parameter typo)")
     p.add_argument("--timing", action="store_true",
                    help="attach a PhaseTimer and print phase wall-times")
     p.add_argument("--profile", action="store_true",
@@ -691,6 +813,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "as dropped, not recorded)")
     p.add_argument("--memory", default="atomic",
                    choices=["atomic", "regular", "safe"])
+    _engine_argument(p, "sim",
+                     "execution backend the traced run replays on "
+                     "(span ids are deterministic either way)")
     p.add_argument("--wall", action="store_true",
                    help="also record wall-clock durations (wall_us "
                         "span attributes; ids stay deterministic)")
@@ -720,6 +845,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="check a JSONL journal for truncation or damage")
     jp.add_argument("path")
     jp.set_defaults(func=_cmd_journal_verify)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect or garbage-collect a content-addressed run store")
+    ssub = p.add_subparsers(dest="store_command", required=True)
+    sp = ssub.add_parser("ls", help="one line per stored spec")
+    sp.add_argument("root", help="store directory")
+    sp.set_defaults(func=_cmd_store)
+    sp = ssub.add_parser("show", help="JSON detail of one stored spec")
+    sp.add_argument("root", help="store directory")
+    sp.add_argument("spec_hash",
+                    help="spec hash (an unambiguous prefix is enough)")
+    sp.set_defaults(func=_cmd_store)
+    sp = ssub.add_parser(
+        "gc",
+        help="remove .tmp orphans (always) and, with --keep, every "
+             "spec tree not matching a kept prefix")
+    sp.add_argument("root", help="store directory")
+    sp.add_argument("--keep", default=None, metavar="PREFIX[,PREFIX]",
+                    help="comma-separated spec-hash prefixes to keep; "
+                         "omit to only sweep crash-orphaned .tmp files")
+    sp.add_argument("--dry-run", action="store_true",
+                    help="print what would be removed without removing")
+    sp.set_defaults(func=_cmd_store)
 
     return parser
 

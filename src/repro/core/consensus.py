@@ -62,7 +62,7 @@ def solve(
     max_steps: int = 100_000,
     record_trace: bool = False,
     sinks: Sequence = (),
-    fast: bool = True,
+    fast: Optional[bool] = None,
     memory=None,
     engine: Optional[str] = None,
 ) -> ConsensusOutcome:
@@ -89,17 +89,17 @@ def solve(
         e.g. a :class:`~repro.obs.metrics.MetricsRegistry` or a
         :class:`~repro.obs.journal.JsonlJournal`.
     fast:
-        Kernel engine selection; ``fast=False`` is the reference-path
-        escape hatch (see docs/PERFORMANCE.md).
+        Deprecated boolean alias for ``engine`` (``True`` → ``"fast"``,
+        ``False`` → ``"reference"``); passing it warns.
     memory:
         Register semantics: ``None`` (atomic, the default), a name in
         ``("atomic", "regular", "safe")``, or a
         :class:`~repro.sim.memory.MemorySpec` — see docs/MODEL.md.
     engine:
-        Execution backend: ``"fast"``, ``"reference"``, or
-        ``"vector"`` (compiled table IR — bit-identical for the
-        supported matrix, see docs/IR.md).  ``None`` defers to
-        ``fast``.
+        Execution backend, resolved through the registry
+        (:mod:`repro.engines`): ``"fast"`` (default), ``"reference"``,
+        or ``"vector"`` (compiled table IR — bit-identical for the
+        supported matrix, see docs/IR.md).
 
     Example
     -------
@@ -108,6 +108,9 @@ def solve(
     >>> outcome.value in ("a", "b") and outcome.consistent
     True
     """
+    from repro.engines import resolve_sim_engine
+
+    engine = resolve_sim_engine(engine, fast, caller="solve").name
     rng = ReplayableRng(seed)
     if scheduler is None:
         from repro.sched.simple import RandomScheduler
@@ -125,12 +128,6 @@ def solve(
         if sinks:
             replay_run(vk.compiled, result, rec, sinks, seed, 0)
         return ConsensusOutcome.from_run(result)
-    if engine is not None:
-        if engine not in ("fast", "reference"):
-            raise ValueError(
-                f"unknown engine {engine!r}: expected 'fast', "
-                f"'reference', or 'vector'")
-        fast = engine == "fast"
     sim = Simulation(
         protocol,
         inputs,
@@ -138,7 +135,7 @@ def solve(
         rng.child("kernel"),
         record_trace=record_trace,
         sinks=sinks,
-        fast=fast,
+        engine=engine,
         memory=memory,
     )
     # Single-run convention: this run's replay key is (seed, 0), so a

@@ -44,6 +44,7 @@ import pickle
 import queue as queue_module
 from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
+from repro.engines import SIM, default_engine, resolve_sim_engine
 from repro.obs.journal import JsonlJournal, concatenate_journals
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryEmitter, file_sink
@@ -63,16 +64,31 @@ class BatchSpec:
     inputs_factory: Callable
     seed: int
     strict: bool = False
-    #: Kernel engine selection; workers inherit the fast path (and its
-    #: per-shard shared TransitionCache) by default.
-    fast: bool = True
+    #: Deprecated boolean alias for ``engine`` (``True`` → ``"fast"``,
+    #: ``False`` → ``"reference"``); passing it warns at construction.
+    fast: Optional[bool] = None
     #: Register semantics of every run (picklable; see repro.sim.memory).
     memory: MemorySpec = ATOMIC
-    #: Execution backend ("fast", "reference", or "vector"); ``None``
-    #: defers to the ``fast`` flag.  Workers rebuild their runner with
-    #: it, so a vector batch shards into per-worker lockstep
-    #: mega-batches (see repro.ir).
+    #: Execution backend name, resolved through the engine registry
+    #: (:mod:`repro.engines`); ``None`` means the registry default
+    #: (``"fast"``).  Workers rebuild their runner with it, so a vector
+    #: batch shards into per-worker lockstep mega-batches (repro.ir).
     engine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Validate (and warn for the deprecated alias) once, in the
+        # submitting process; workers rebuild specs via pickle, which
+        # skips __init__, so neither fires again per shard.
+        resolve_sim_engine(self.engine, self.fast, caller="BatchSpec")
+
+    @property
+    def resolved_engine(self) -> str:
+        """The effective engine name (alias applied, default filled)."""
+        if self.engine is not None:
+            return self.engine
+        if self.fast is not None:
+            return "fast" if self.fast else "reference"
+        return default_engine(SIM).name
 
 
 @dataclasses.dataclass(frozen=True)
@@ -152,9 +168,8 @@ def _execute_shard(task: ShardTask) -> ShardResult:
         seed=task.spec.seed,
         strict=task.spec.strict,
         sinks=sinks,
-        fast=task.spec.fast,
         memory=task.spec.memory,
-        engine=task.spec.engine,
+        engine=task.spec.resolved_engine,
     )
     emitter = None
     if task.telemetry_queue is not None:
@@ -223,6 +238,20 @@ def _check_picklable(spec: BatchSpec) -> None:
         ) from exc
 
 
+def _shard_payload(task: ShardTask, result: ShardResult):
+    """Package one executed shard for the store (journal bytes inline)."""
+    from repro.store import ShardPayload
+
+    journal_bytes = None
+    if task.journal_path is not None:
+        with open(task.journal_path, "rb") as fh:
+            journal_bytes = fh.read()
+    return ShardPayload(
+        start=result.start, stop=result.stop, runs=result.runs,
+        metrics=result.metrics, journal_bytes=journal_bytes,
+        journal_events=result.journal_events)
+
+
 def run_parallel(
     spec: BatchSpec,
     n_runs: int,
@@ -233,6 +262,7 @@ def run_parallel(
     telemetry_path: Optional[str] = None,
     registry: Optional[MetricsRegistry] = None,
     mp_context: str = "spawn",
+    store=None,
 ):
     """Execute a sharded batch and merge it back into one ``BatchStats``.
 
@@ -259,6 +289,15 @@ def run_parallel(
     mp_context:
         ``multiprocessing`` start method.  ``"spawn"`` (default) works
         everywhere; ``"fork"`` is faster where available.
+    store:
+        Optional :class:`~repro.store.RunStore`.  Shards already
+        committed under this sweep's content address ``(spec_hash,
+        root_seed, index_range)`` are loaded instead of executed;
+        every freshly executed shard is committed (atomic tmp+rename)
+        as soon as it finishes — in execution order on the in-process
+        path, in shard order after a pool drains — so an interrupted
+        sweep resumes from its last committed shard.  The returned
+        stats carry a :class:`~repro.store.StoreStats` accounting.
 
     Returns a :class:`~repro.sim.runner.BatchStats` bit-identical to
     the serial equivalent: same ``runs`` list, same merged metrics
@@ -272,6 +311,30 @@ def run_parallel(
 
     shards = plan_shards(n_runs, workers, shard_size)
     with_metrics = registry is not None
+
+    cached: dict = {}
+    run_spec = None
+    store_stats = None
+    if store is not None:
+        from repro.spec import ObsOptions, RunSpec
+        from repro.store import StoreStats
+
+        run_spec = RunSpec.from_batch(
+            spec, max_steps=max_steps,
+            obs=ObsOptions(metrics=with_metrics,
+                           journal=journal_path is not None))
+        spec_hash = run_spec.spec_hash()
+        store_stats = StoreStats(spec_hash=spec_hash)
+        for k, (start, stop) in enumerate(shards):
+            payload = store.load_shard(spec_hash, spec.seed, start, stop)
+            if payload is not None:
+                cached[k] = payload
+                store_stats.hits += 1
+                store_stats.runs_from_cache += stop - start
+            else:
+                store_stats.misses += 1
+                store_stats.runs_executed += stop - start
+
     tasks = [
         ShardTask(
             spec=spec,
@@ -284,7 +347,12 @@ def run_parallel(
             shard_index=k,
         )
         for k, (start, stop) in enumerate(shards)
+        if k not in cached
     ]
+
+    def _commit(task: ShardTask, result: ShardResult) -> None:
+        store.commit_shard(run_spec, spec.seed,
+                           _shard_payload(task, result))
 
     telemetry_fh = open(telemetry_path, "w") \
         if telemetry_path is not None else None
@@ -293,11 +361,18 @@ def run_parallel(
             results: List[ShardResult] = []
         elif len(tasks) == 1 or workers == 1:
             # Nothing to parallelize; run in-process, same code path.
+            # With a store, each shard commits the moment it finishes
+            # (that is what makes a killed sweep resumable mid-batch).
             if telemetry_fh is not None:
                 channel = _FileChannel(telemetry_fh)
                 tasks = [dataclasses.replace(t, telemetry_queue=channel)
                          for t in tasks]
-            results = [_execute_shard(t) for t in tasks]
+            results = []
+            for t in tasks:
+                r = _execute_shard(t)
+                if store is not None:
+                    _commit(t, r)
+                results.append(r)
         else:
             ctx = multiprocessing.get_context(mp_context)
             if telemetry_fh is None:
@@ -316,9 +391,34 @@ def run_parallel(
                         pending = pool.map_async(_execute_shard, tasks)
                         _drain_heartbeats(beats, telemetry_fh, pending)
                         results = pending.get()
+            if store is not None:
+                for t, r in zip(tasks, results):
+                    _commit(t, r)
     finally:
         if telemetry_fh is not None:
             telemetry_fh.close()
+
+    # Fold cached payloads back into the shard sequence, in shard
+    # order, so the merge below cannot tell a loaded shard from an
+    # executed one.
+    if cached:
+        executed = {r.start: r for r in results}
+        results = []
+        for k, (start, stop) in enumerate(shards):
+            payload = cached.get(k)
+            if payload is None:
+                results.append(executed[start])
+                continue
+            results.append(ShardResult(
+                start=start, stop=stop, runs=payload.runs,
+                metrics=payload.metrics,
+                journal_events=payload.journal_events))
+            if journal_path is not None:
+                # Re-materialize the shard's journal segment so the
+                # stitch below is the one code path either way.
+                with open(shard_journal_path(journal_path, k),
+                          "wb") as fh:
+                    fh.write(payload.journal_bytes)
 
     runs = [r for shard in results for r in shard.runs]
     if with_metrics:
@@ -327,7 +427,8 @@ def run_parallel(
 
     journal_events: Optional[int] = None
     if journal_path is not None:
-        parts = [t.journal_path for t in tasks]
+        parts = [shard_journal_path(journal_path, k)
+                 for k in range(len(shards))]
         journal_events = concatenate_journals(parts, journal_path)
         for part in parts:
             os.remove(part)
@@ -338,4 +439,5 @@ def run_parallel(
         metrics=registry,
         journal_path=journal_path,
         journal_events=journal_events,
+        store=store_stats,
     )

@@ -16,13 +16,13 @@ slow.
 
 Two execution engines share this class (see docs/PERFORMANCE.md):
 
-* the **fast path** (default, ``fast=True``) keeps processor states and
+* the **fast path** (``engine="fast"``, the default) keeps processor states and
   register contents in mutable run-local buffers, resolves transitions
   through a :class:`~repro.sim.transitions.TransitionCache`, and
   materializes immutable :class:`~repro.sim.config.Configuration`
   snapshots lazily — only when a scheduler view, trace, sink, or
   :meth:`Simulation.result` asks for one;
-* the **reference path** (``fast=False``) preserves the original
+* the **reference path** (``engine="reference"``) preserves the original
   kernel verbatim: an immutable configuration rebuilt via
   ``with_state``/``with_register`` on every step, a fresh
   ``protocol.branches()`` + validation + access check per step.
@@ -33,7 +33,7 @@ suites in ``tests/test_kernel_fastpath.py`` and the Hypothesis harness
 enforce that.  The fast path additionally requires the
 :class:`~repro.sim.transitions.TransitionCache` contract (hashable,
 transition-stable states); protocols that violate it must pass
-``fast=False``.
+``engine="reference"``.
 
 A third engine lives *outside* this class: :mod:`repro.ir` lowers
 finite protocols to integer tables and steps whole Monte-Carlo batches
@@ -65,6 +65,7 @@ import dataclasses
 from time import perf_counter
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
+from repro.engines import resolve_sim_engine
 from repro.errors import ProtocolError, SimulationError
 from repro.obs.hooks import BaseSink, make_hub
 from repro.sim.config import Configuration, RegisterLayout
@@ -287,11 +288,17 @@ class Simulation:
         Observability sinks (see :mod:`repro.obs`) to notify of kernel
         events.  With none attached (the default) the kernel keeps no
         hub at all and the hot path pays only ``is not None`` checks.
+    engine:
+        Execution backend name resolved through the engine registry
+        (:mod:`repro.engines`): ``"fast"`` (the default) or
+        ``"reference"`` — the escape hatch for protocols that are not
+        transition-stable, and the baseline the kernel benchmark gates
+        against (see docs/PERFORMANCE.md).  The ``"vector"`` backend
+        steps whole batches and cannot back a standalone simulation;
+        use :func:`repro.core.consensus.solve` or the runner for it.
     fast:
-        Select the execution engine (default True).  ``fast=False`` is
-        the escape hatch to the reference path for protocols that are
-        not transition-stable, and the baseline the kernel benchmark
-        gates against (see docs/PERFORMANCE.md).
+        Deprecated boolean alias for ``engine`` (``True`` → ``"fast"``,
+        ``False`` → ``"reference"``); passing it warns.
     cache:
         A :class:`~repro.sim.transitions.TransitionCache` to reuse
         (fast path only).  Sharing one across runs of equivalent
@@ -324,15 +331,25 @@ class Simulation:
         record_trace: bool = False,
         strict: bool = True,
         sinks: Optional[Sequence[BaseSink]] = None,
-        fast: bool = True,
+        fast: Optional[bool] = None,
         cache: Optional[TransitionCache] = None,
         memory: Union[None, str, MemorySpec] = None,
+        engine: Optional[str] = None,
     ) -> None:
+        info = resolve_sim_engine(engine, fast, caller="Simulation")
+        if not info.standalone:
+            raise SimulationError(
+                f"engine {info.name!r} steps lockstep batches and cannot "
+                f"back a standalone Simulation; use solve(engine="
+                f"{info.name!r}) or ExperimentRunner(engine={info.name!r}) "
+                f"instead (docs/IR.md)")
+        fast = info.name == "fast"
         if protocol.n_processes < 1:
             raise SimulationError("protocol declares no processors")
         if cache is not None and not fast:
             raise SimulationError(
-                "a TransitionCache requires the fast path (fast=True)"
+                "a TransitionCache requires the fast engine "
+                "(engine='fast')"
             )
         n = protocol.n_processes
         self.protocol = protocol

@@ -20,8 +20,13 @@ merges the shards back deterministically.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable, List,
+                    Optional, Sequence)
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import RunStore, StoreStats
+
+from repro.engines import resolve_sim_engine
 from repro.obs.hooks import BaseSink
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import RunResult, Simulation
@@ -116,6 +121,10 @@ class BatchStats:
     ``journal_path`` / ``journal_events`` are set when ``run_many`` was
     asked to stream a journal (``journal_path=...``): the path of the
     finished JSONL file and its line count (header included).
+
+    ``store`` carries the :class:`~repro.store.StoreStats` cache
+    accounting (hits, misses, runs served from cache vs executed) when
+    the batch ran against a :class:`~repro.store.RunStore`.
     """
 
     runs: List[RunStats]
@@ -123,6 +132,7 @@ class BatchStats:
     metrics: Optional[MetricsRegistry] = None
     journal_path: Optional[str] = None
     journal_events: Optional[int] = None
+    store: Optional["StoreStats"] = None
 
     def metrics_dict(self) -> Optional[Dict[str, Any]]:
         """JSON-ready snapshot of the attached registry, if any."""
@@ -231,7 +241,7 @@ class ExperimentRunner:
         seed: int,
         strict: bool = False,
         sinks: Sequence[BaseSink] = (),
-        fast: bool = True,
+        fast: Optional[bool] = None,
         memory=None,
         engine: Optional[str] = None,
     ) -> None:
@@ -241,21 +251,16 @@ class ExperimentRunner:
         self._seed = seed
         self._strict = strict
         self._sinks = tuple(sinks)
-        # ``engine`` names the execution backend explicitly; the legacy
-        # ``fast`` flag keeps selecting between the two interpreted
-        # kernels when no engine is named.  "vector" steps compiled
+        # ``engine`` names the execution backend, resolved and
+        # validated through the registry (repro.engines); ``fast`` is
+        # the deprecated boolean alias.  "vector" steps compiled
         # integer tables in lockstep mega-batches (repro.ir) and is
         # bit-identical to the interpreted kernels for the supported
         # protocol × scheduler × memory matrix (docs/IR.md §5); it
         # raises IRUnsupportedError at first use otherwise.
-        if engine is None:
-            engine = "fast" if fast else "reference"
-        if engine not in ("fast", "reference", "vector"):
-            raise ValueError(
-                f"unknown engine {engine!r}: expected 'fast', "
-                f"'reference', or 'vector'")
-        self._engine = engine
-        self._fast = engine == "fast"
+        self._engine = resolve_sim_engine(
+            engine, fast, caller="ExperimentRunner").name
+        self._fast = self._engine == "fast"
         # Register semantics for every run of the batch (a picklable
         # MemorySpec, so parallel shards inherit it unchanged).
         self._memory: MemorySpec = memory_spec(memory)
@@ -365,7 +370,7 @@ class ExperimentRunner:
             record_trace=record_trace,
             strict=self._strict,
             sinks=self._sinks if sinks is None else sinks,
-            fast=self._fast,
+            engine=self._engine,
             cache=cache,
             memory=self._memory,
         )
@@ -432,6 +437,7 @@ class ExperimentRunner:
         journal_path: Optional[str] = None,
         telemetry_path: Optional[str] = None,
         mp_context: str = "spawn",
+        store: Optional["RunStore"] = None,
     ) -> BatchStats:
         """Execute ``n_runs`` independent runs and aggregate.
 
@@ -460,8 +466,17 @@ class ExperimentRunner:
         per ~1% of each shard — see :mod:`repro.obs.telemetry`) to that
         path in either mode; follow it live with ``repro top``.
         Heartbeats carry wall-clock rates and never affect results.
+
+        ``store`` attaches a :class:`~repro.store.RunStore`: shards
+        already committed under this batch's content address are
+        loaded instead of executed, freshly executed shards are
+        committed as they finish, and the returned stats carry a
+        ``store`` accounting.  Store-backed batches always take the
+        sharded engine (even at ``workers=1``, so interruption
+        granularity is the shard) and inherit its restrictions:
+        picklable spec-class factories and MetricsRegistry-only sinks.
         """
-        if workers > 1:
+        if workers > 1 or store is not None:
             from repro.parallel.engine import BatchSpec, run_parallel
 
             unsupported = [s for s in self._sinks
@@ -480,7 +495,6 @@ class ExperimentRunner:
                 inputs_factory=self._inputs_factory,
                 seed=self._seed,
                 strict=self._strict,
-                fast=self._fast,
                 memory=self._memory,
                 engine=self._engine,
             )
@@ -489,6 +503,7 @@ class ExperimentRunner:
                 workers=workers, shard_size=shard_size,
                 journal_path=journal_path, telemetry_path=telemetry_path,
                 registry=self.metrics, mp_context=mp_context,
+                store=store,
             )
 
         journal = None

@@ -32,7 +32,7 @@ transitions.
 
 Every protocol in :mod:`repro.core` and :mod:`repro.apps` satisfies
 this; a protocol that does not must run with ``Simulation(...,
-fast=False)`` (see docs/PERFORMANCE.md).
+engine="reference")`` (see docs/PERFORMANCE.md).
 
 A cache may be shared across many :class:`~repro.sim.kernel.Simulation`
 instances — the runner shares one per batch, which also amortizes the

@@ -1,0 +1,361 @@
+"""Content-addressed, resumable on-disk run store.
+
+Because every run is a pure function of ``(spec, root_seed,
+run_index)`` (the determinism contract of :mod:`repro.parallel`), a
+finished shard of a sweep is a *fact*: re-running it can only ever
+reproduce the same bytes.  This store files those facts on disk, keyed
+by content address, so
+
+* an interrupted sweep **resumes** from its last committed shard —
+  ``run_many(..., store=...)`` commits each finished shard and a re-run
+  loads the committed ones instead of re-executing them;
+* a repeated identical sweep is answered **entirely from cache**
+  (zero kernel steps), bit-identical to the uninterrupted serial run —
+  merged ``RunStats``, metrics snapshot, and journal bytes alike.
+
+Layout
+------
+
+::
+
+    <root>/
+      store.json                          # format marker
+      specs/<spec_hash>/
+        spec.json                         # canonical RunSpec (pretty)
+        seed-<root_seed>/
+          shard-<start>-<stop>.pkl        # one committed shard
+
+``spec_hash`` is :meth:`repro.spec.RunSpec.spec_hash` — SHA-256 of the
+spec's canonical JSON — so the full key of a shard is
+``(spec_hash, root_seed, index_range)``.  ``spec.json`` stores the
+canonical form next to the opaque hash for humans and ``repro store
+show``.
+
+Crash safety
+------------
+
+Commits reuse the journal finalization idiom (PR 5,
+:mod:`repro.obs.journal`): payloads stream to ``<path>.tmp`` and are
+fsync'd, then atomically renamed over the final name.  A shard file
+either exists whole or not at all; a crash mid-commit leaves only a
+``.tmp`` that :meth:`RunStore.gc` sweeps and that loading never
+consults.
+
+GC contract
+-----------
+
+:meth:`RunStore.gc` always removes orphaned ``.tmp`` files (they are
+never readable state).  Committed shards are removed only when the
+caller names the spec hashes to *keep* — the store never ages out
+facts on its own, because a content-addressed fact cannot go stale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import os
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.spec import RunSpec
+
+#: On-disk payload format; bump on incompatible ShardPayload changes.
+STORE_FORMAT = 1
+
+_MARKER = "store.json"
+_SPECS = "specs"
+
+
+class StoreError(ValueError):
+    """A store operation that cannot be performed."""
+
+
+@dataclasses.dataclass
+class ShardPayload:
+    """Everything one committed shard contributes to a merged batch.
+
+    ``journal_bytes`` holds the shard's complete JSONL journal segment
+    (header line included) when the sweep recorded one, so a cached
+    shard re-enters :func:`repro.obs.journal.concatenate_journals`
+    exactly like a freshly executed shard's file does.
+    """
+
+    start: int
+    stop: int
+    runs: List[Any]
+    metrics: Optional[Any] = None
+    journal_bytes: Optional[bytes] = None
+    journal_events: int = 0
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """What the store contributed to one sweep (``BatchStats.store``)."""
+
+    spec_hash: str = ""
+    hits: int = 0
+    misses: int = 0
+    runs_from_cache: int = 0
+    runs_executed: int = 0
+
+    @property
+    def fully_cached(self) -> bool:
+        """True when the sweep executed zero kernel steps."""
+        return self.misses == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """One spec's footprint in the store (``repro store ls`` row)."""
+
+    spec_hash: str
+    describe: str
+    seeds: Tuple[int, ...]
+    n_shards: int
+    n_runs: int
+    bytes: int
+
+
+class RunStore:
+    """The content-addressed shard store rooted at ``root``.
+
+    ``on_commit`` is an optional hook called *after* each atomic shard
+    commit with ``(spec_hash, root_seed, start, stop, path)``.  The
+    resume test suite uses it as a fault injector — raising from the
+    hook simulates a sweep killed between shard commits; everything
+    committed before the fault stays durable and resumable.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.on_commit: Optional[Callable[[str, int, int, int, str],
+                                          None]] = None
+        os.makedirs(os.path.join(root, _SPECS), exist_ok=True)
+        marker = os.path.join(root, _MARKER)
+        if not os.path.exists(marker):
+            tmp = marker + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump({"repro_store": STORE_FORMAT}, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, marker)
+        else:
+            with open(marker) as fh:
+                doc = json.load(fh)
+            if doc.get("repro_store") != STORE_FORMAT:
+                raise StoreError(
+                    f"{root} is a repro store of format "
+                    f"{doc.get('repro_store')!r}; this build reads "
+                    f"format {STORE_FORMAT}")
+
+    # -- paths ---------------------------------------------------------
+
+    def _spec_dir(self, spec_hash: str) -> str:
+        return os.path.join(self.root, _SPECS, spec_hash)
+
+    def shard_path(self, spec_hash: str, root_seed: int,
+                   start: int, stop: int) -> str:
+        """Where the shard ``[start, stop)`` of a sweep is filed."""
+        return os.path.join(
+            self._spec_dir(spec_hash), f"seed-{root_seed}",
+            f"shard-{start:08d}-{stop:08d}.pkl")
+
+    # -- read side -----------------------------------------------------
+
+    def load_shard(self, spec_hash: str, root_seed: int,
+                   start: int, stop: int) -> Optional[ShardPayload]:
+        """The committed payload for the exact key, or ``None``.
+
+        Only whole, format-matching files answer; a damaged file (which
+        the atomic commit protocol never produces by itself) raises
+        :class:`StoreError` rather than silently re-executing over it.
+        """
+        path = self.shard_path(spec_hash, root_seed, start, stop)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as fh:
+                doc = pickle.load(fh)
+        except Exception as exc:
+            raise StoreError(
+                f"unreadable shard {path}: {exc} (the store only "
+                f"writes whole files; remove it to re-execute)"
+            ) from exc
+        if doc.get("format") != STORE_FORMAT:
+            raise StoreError(
+                f"shard {path} has format {doc.get('format')!r}; this "
+                f"build reads format {STORE_FORMAT}")
+        key = (doc.get("spec_hash"), doc.get("root_seed"),
+               doc.get("start"), doc.get("stop"))
+        if key != (spec_hash, root_seed, start, stop):
+            raise StoreError(
+                f"shard {path} is keyed {key}, not "
+                f"{(spec_hash, root_seed, start, stop)}")
+        return doc["payload"]
+
+    # -- write side ----------------------------------------------------
+
+    def commit_shard(self, spec: RunSpec, root_seed: int,
+                     payload: ShardPayload) -> str:
+        """Atomically commit one finished shard; returns its path.
+
+        Uses the journal finalization idiom: stream to ``<path>.tmp``,
+        flush + fsync, then ``os.replace`` onto the final name — the
+        shard appears on disk whole or not at all.  The spec's
+        ``spec.json`` is committed the same way, once, so every shard
+        tree is self-describing.
+        """
+        spec_hash = spec.spec_hash()
+        spec_dir = self._spec_dir(spec_hash)
+        os.makedirs(os.path.join(spec_dir, f"seed-{root_seed}"),
+                    exist_ok=True)
+        spec_doc = os.path.join(spec_dir, "spec.json")
+        if not os.path.exists(spec_doc):
+            tmp = spec_doc + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(spec.to_canonical(), fh, indent=2,
+                          sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, spec_doc)
+        path = self.shard_path(spec_hash, root_seed,
+                               payload.start, payload.stop)
+        doc = {
+            "format": STORE_FORMAT,
+            "spec_hash": spec_hash,
+            "root_seed": root_seed,
+            "start": payload.start,
+            "stop": payload.stop,
+            "payload": payload,
+        }
+        buf = io.BytesIO()
+        pickle.dump(doc, buf, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(buf.getvalue())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if self.on_commit is not None:
+            self.on_commit(spec_hash, root_seed,
+                           payload.start, payload.stop, path)
+        return path
+
+    # -- maintenance ---------------------------------------------------
+
+    def _iter_spec_hashes(self) -> List[str]:
+        specs = os.path.join(self.root, _SPECS)
+        return sorted(
+            d for d in os.listdir(specs)
+            if os.path.isdir(os.path.join(specs, d)))
+
+    def ls(self) -> List[StoreEntry]:
+        """One :class:`StoreEntry` per stored spec, hash-sorted."""
+        entries = []
+        for spec_hash in self._iter_spec_hashes():
+            spec_dir = self._spec_dir(spec_hash)
+            describe = ""
+            doc_path = os.path.join(spec_dir, "spec.json")
+            if os.path.exists(doc_path):
+                with open(doc_path) as fh:
+                    doc = json.load(fh)
+                describe = (
+                    f"{doc['protocol']['name']}"
+                    f"({doc['protocol']['n_processes']}) "
+                    f"sched={doc['scheduler']['name']} "
+                    f"mem={doc['memory']} engine={doc['engine']} "
+                    f"max_steps={doc['budgets']['max_steps']}")
+            seeds, n_shards, n_runs, size = [], 0, 0, 0
+            for seed_dir in sorted(os.listdir(spec_dir)):
+                if not seed_dir.startswith("seed-"):
+                    continue
+                seeds.append(int(seed_dir[len("seed-"):]))
+                full = os.path.join(spec_dir, seed_dir)
+                for shard in os.listdir(full):
+                    if not (shard.startswith("shard-")
+                            and shard.endswith(".pkl")):
+                        continue
+                    n_shards += 1
+                    stem = shard[len("shard-"):-len(".pkl")]
+                    start, stop = (int(p) for p in stem.split("-"))
+                    n_runs += stop - start
+                    size += os.path.getsize(os.path.join(full, shard))
+            entries.append(StoreEntry(
+                spec_hash=spec_hash, describe=describe,
+                seeds=tuple(sorted(seeds)), n_shards=n_shards,
+                n_runs=n_runs, bytes=size))
+        return entries
+
+    def show(self, spec_hash: str) -> Dict[str, Any]:
+        """Canonical spec + per-seed shard ranges for one stored spec.
+
+        Accepts a unique hash prefix (≥ 8 chars) like git does.
+        """
+        matches = [h for h in self._iter_spec_hashes()
+                   if h.startswith(spec_hash)]
+        if not matches:
+            raise StoreError(f"no stored spec matches {spec_hash!r}")
+        if len(matches) > 1:
+            raise StoreError(
+                f"{spec_hash!r} is ambiguous: "
+                f"{', '.join(h[:12] for h in matches)}")
+        spec_hash = matches[0]
+        spec_dir = self._spec_dir(spec_hash)
+        with open(os.path.join(spec_dir, "spec.json")) as fh:
+            spec_doc = json.load(fh)
+        seeds: Dict[int, List[Tuple[int, int]]] = {}
+        for seed_dir in sorted(os.listdir(spec_dir)):
+            if not seed_dir.startswith("seed-"):
+                continue
+            seed = int(seed_dir[len("seed-"):])
+            ranges = []
+            full = os.path.join(spec_dir, seed_dir)
+            for shard in sorted(os.listdir(full)):
+                if shard.startswith("shard-") and shard.endswith(".pkl"):
+                    stem = shard[len("shard-"):-len(".pkl")]
+                    start, stop = (int(p) for p in stem.split("-"))
+                    ranges.append((start, stop))
+            seeds[seed] = ranges
+        return {"spec_hash": spec_hash, "spec": spec_doc, "seeds": seeds}
+
+    def gc(self, keep: Optional[List[str]] = None,
+           dry_run: bool = False) -> List[str]:
+        """Sweep the store; returns the paths removed (or would-remove).
+
+        Always removes orphaned ``.tmp`` files — a crashed writer's
+        partial output, never readable state.  When ``keep`` is given
+        (full hashes or unique prefixes), whole spec trees *not*
+        matching any kept prefix are removed too; without ``keep``,
+        committed data is never touched.
+        """
+        removed: List[str] = []
+
+        def _rm(path: str) -> None:
+            removed.append(path)
+            if dry_run:
+                return
+            if os.path.isdir(path):
+                for sub in sorted(
+                        (os.path.join(dp, f)
+                         for dp, _, fs in os.walk(path) for f in fs),
+                        reverse=True):
+                    os.remove(sub)
+                for dp, dns, _ in sorted(os.walk(path), reverse=True):
+                    for dn in dns:
+                        os.rmdir(os.path.join(dp, dn))
+                os.rmdir(path)
+            else:
+                os.remove(path)
+
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".tmp"):
+                    _rm(os.path.join(dirpath, name))
+        if keep is not None:
+            for spec_hash in self._iter_spec_hashes():
+                if not any(spec_hash.startswith(k) for k in keep):
+                    _rm(self._spec_dir(spec_hash))
+        return removed

@@ -69,13 +69,14 @@ BACKENDS = ("python",) if _np is None else ("numpy", "python")
 # ----------------------------------------------------------------------
 
 def run_interp(protocol_factory, inputs, scheduler_factory, seed, *,
-               fast=True, max_steps=3_000, record_trace=False, sinks=None):
+               engine="fast", max_steps=3_000, record_trace=False,
+               sinks=None):
     """One interpreted-kernel run with the runner's seed chain."""
     rng = ReplayableRng(seed)
     scheduler = scheduler_factory(rng.child("sched"))
     sim = Simulation(
         protocol_factory(), inputs, scheduler, rng.child("kernel"),
-        record_trace=record_trace, fast=fast, sinks=sinks,
+        record_trace=record_trace, engine=engine, sinks=sinks,
     )
     return sim.run(max_steps)
 
@@ -113,7 +114,7 @@ def run_interp_as_runner(protocol_factory, inputs, scheduler_factory,
     scheduler = scheduler_factory(rng.child("sched"))
     sim = Simulation(
         protocol_factory(), inputs, scheduler, rng.child("kernel"),
-        record_trace=record_trace, fast=True, sinks=sinks,
+        record_trace=record_trace, engine="fast", sinks=sinks,
     )
     if sinks:
         for sink in sinks:

@@ -1,8 +1,9 @@
 """Differential tests: the fast kernel path vs the reference path.
 
-The kernel's fast path (``Simulation(..., fast=True)``, the default)
-must be *observably identical* to the reference path (``fast=False``,
-the seed kernel verbatim): same decisions, same activation counts, same
+The kernel's fast path (``Simulation(..., engine="fast")``, the
+default) must be *observably identical* to the reference path
+(``engine="reference"``, the seed kernel verbatim): same decisions,
+same activation counts, same
 coin-flip counts (per processor — the RNG draw sequences themselves
 must match, not just totals), same scheduler-consultation count, same
 final configuration, same trace, same journal bytes, same metrics.
@@ -48,14 +49,14 @@ from repro.sim.transitions import TransitionCache
 # ----------------------------------------------------------------------
 
 def run_one(protocol_factory, inputs, scheduler_factory, seed, *,
-            fast, max_steps=3_000, record_trace=False, cache=None,
+            engine, max_steps=3_000, record_trace=False, cache=None,
             sinks=None):
     """One run with the full seed-derivation discipline of the runner."""
     rng = ReplayableRng(seed)
     scheduler = scheduler_factory(rng.child("sched"))
     sim = Simulation(
         protocol_factory(), inputs, scheduler, rng.child("kernel"),
-        record_trace=record_trace, fast=fast, cache=cache,
+        record_trace=record_trace, engine=engine, cache=cache,
         sinks=sinks,
     )
     result = sim.run(max_steps)
@@ -80,9 +81,11 @@ def assert_identical(res_fast, res_ref):
 
 def run_pair(protocol_factory, inputs, scheduler_factory, seed, **kw):
     res_fast, draws_fast = run_one(
-        protocol_factory, inputs, scheduler_factory, seed, fast=True, **kw)
+        protocol_factory, inputs, scheduler_factory, seed,
+        engine="fast", **kw)
     res_ref, draws_ref = run_one(
-        protocol_factory, inputs, scheduler_factory, seed, fast=False, **kw)
+        protocol_factory, inputs, scheduler_factory, seed,
+        engine="reference", **kw)
     assert_identical(res_fast, res_ref)
     # The per-processor RNG streams must have consumed the exact same
     # number of draws — a stronger property than equal coin_flips
@@ -129,10 +132,10 @@ def test_traces_identical_when_recorded():
     for seed in SEEDS:
         res_fast, _ = run_one(protocol_factory, inputs,
                               SCHEDULERS["random"], seed,
-                              fast=True, record_trace=True)
+                              engine="fast", record_trace=True)
         res_ref, _ = run_one(protocol_factory, inputs,
                              SCHEDULERS["random"], seed,
-                             fast=False, record_trace=True)
+                             engine="reference", record_trace=True)
         assert_identical(res_fast, res_ref)
         assert len(res_fast.trace) == len(res_ref.trace)
         for a, b in zip(res_fast.trace, res_ref.trace):
@@ -147,25 +150,25 @@ def test_traces_identical_when_recorded():
 def test_journal_bytes_identical(tmp_path):
     protocol_factory, inputs = PROTOCOLS["two_process"]
     paths = {}
-    for fast in (True, False):
-        path = tmp_path / f"journal_{fast}.jsonl"
+    for engine in ("fast", "reference"):
+        path = tmp_path / f"journal_{engine}.jsonl"
         journal = JsonlJournal(str(path))
         run_one(protocol_factory, inputs, SCHEDULERS["random"], 11,
-                fast=fast, sinks=(journal,))
+                engine=engine, sinks=(journal,))
         journal.close()
-        paths[fast] = path.read_bytes()
-    assert paths[True] == paths[False]
+        paths[engine] = path.read_bytes()
+    assert paths["fast"] == paths["reference"]
 
 
 def test_metrics_identical():
     protocol_factory, inputs = PROTOCOLS["three_bounded"]
     registries = {}
-    for fast in (True, False):
+    for engine in ("fast", "reference"):
         reg = MetricsRegistry()
         run_one(protocol_factory, inputs, SCHEDULERS["random"], 23,
-                fast=fast, sinks=(reg,))
-        registries[fast] = reg.to_dict()
-    assert registries[True] == registries[False]
+                engine=engine, sinks=(reg,))
+        registries[engine] = reg.to_dict()
+    assert registries["fast"] == registries["reference"]
 
 
 # ----------------------------------------------------------------------
@@ -181,7 +184,7 @@ class TestEngineSelection:
     def test_reference_escape_hatch(self):
         sim = Simulation(TwoProcessProtocol(), ("a", "b"),
                          RoundRobinScheduler(), ReplayableRng(0),
-                         fast=False)
+                         engine="reference")
         assert not sim._fast and sim._cache is None
         result = sim.run(1_000)
         assert result.completed and result.consistent
@@ -191,7 +194,7 @@ class TestEngineSelection:
         cache = TransitionCache(protocol)
         with pytest.raises(SimulationError):
             Simulation(protocol, ("a", "b"), RoundRobinScheduler(),
-                       ReplayableRng(0), fast=False, cache=cache)
+                       ReplayableRng(0), engine="reference", cache=cache)
 
     def test_shared_cache_matches_private_caches(self):
         protocol = TwoProcessProtocol()
@@ -199,9 +202,10 @@ class TestEngineSelection:
         for seed in SEEDS:
             shared, _ = run_one(lambda: protocol, ("a", "b"),
                                 SCHEDULERS["random"], seed,
-                                fast=True, cache=cache)
+                                engine="fast", cache=cache)
             private, _ = run_one(lambda: protocol, ("a", "b"),
-                                 SCHEDULERS["random"], seed, fast=True)
+                                 SCHEDULERS["random"], seed,
+                                 engine="fast")
             assert_identical(shared, private)
         assert len(cache) > 0
 
@@ -403,13 +407,13 @@ def test_random_automata_fast_equals_reference(spec, seed, inputs_bits):
     inputs = tuple(inputs_bits[: protocol.n_processes])
     results = {}
     draws = {}
-    for fast in (True, False):
+    for engine in ("fast", "reference"):
         rng = ReplayableRng(seed)
         sim = Simulation(protocol, inputs,
                          RandomScheduler(rng.child("sched")),
-                         rng.child("kernel"), fast=fast)
-        results[fast] = sim.run(300)
-        draws[fast] = tuple(r.draws for r in sim._proc_rngs)
-    assert_identical(results[True], results[False])
-    assert draws[True] == draws[False]
-    assert results[True].coin_flips == results[False].coin_flips
+                         rng.child("kernel"), engine=engine)
+        results[engine] = sim.run(300)
+        draws[engine] = tuple(r.draws for r in sim._proc_rngs)
+    assert_identical(results["fast"], results["reference"])
+    assert draws["fast"] == draws["reference"]
+    assert results["fast"].coin_flips == results["reference"].coin_flips

@@ -251,28 +251,28 @@ class RecordingResolver(Scheduler):
         return choices[-1]
 
 
-def _run_wr(scheduler, memory, fast=True, sinks=()):
+def _run_wr(scheduler, memory, engine="fast", sinks=()):
     sim = Simulation(WRProtocol(), ("i0", "i1"), scheduler,
-                     ReplayableRng(0).child("kernel"), fast=fast,
+                     ReplayableRng(0).child("kernel"), engine=engine,
                      sinks=sinks, memory=memory)
     return sim.run(100)
 
 
 class TestKernelResolution:
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_default_resolution_is_committed_value(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_default_resolution_is_committed_value(self, engine):
         # Alternating P0/P1: every P1 read races P0's in-flight write
         # and, with no resolver, sees the committed (old) value.
         result = _run_wr(FixedScheduler([0, 1, 0, 1, 0, 1]), "regular",
-                         fast=fast)
+                         engine=engine)
         assert result.decisions[1] == (BOTTOM, 1, 2)
         assert result.memory == "regular"
         assert result.read_resolutions == 3
 
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_resolve_read_hook_sees_legal_sets(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_resolve_read_hook_sees_legal_sets(self, engine):
         sched = RecordingResolver()
-        result = _run_wr(sched, "regular", fast=fast)
+        result = _run_wr(sched, "regular", engine=engine)
         assert sched.calls == [
             (1, "r", (BOTTOM, 1)),
             (1, "r", (1, 2)),
@@ -281,10 +281,10 @@ class TestKernelResolution:
         assert result.decisions[1] == (1, 2, 3)
         assert result.read_resolutions == 3
 
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_safe_adds_garbage_choice(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_safe_adds_garbage_choice(self, engine):
         sched = RecordingResolver()
-        result = _run_wr(sched, "safe", fast=fast)
+        result = _run_wr(sched, "safe", engine=engine)
         # choices[-1] under safe contention is the initial value ⊥.
         assert sched.calls == [
             (1, "r", (BOTTOM, 1)),
@@ -294,43 +294,43 @@ class TestKernelResolution:
         assert result.decisions[1] == (1, BOTTOM, BOTTOM)
         assert result.memory == "safe"
 
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_activate_read_value_precommits(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_activate_read_value_precommits(self, engine):
         sched = ScriptedScheduler([
             Activate(0), Activate(1, read_value=1),
             Activate(0), Activate(1, read_value=1),
             Activate(0), Activate(1, read_value=3),
         ])
-        result = _run_wr(sched, "regular", fast=fast)
+        result = _run_wr(sched, "regular", engine=engine)
         assert result.decisions[1] == (1, 1, 3)
 
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_illegal_read_value_rejected(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_illegal_read_value_rejected(self, engine):
         sched = ScriptedScheduler([Activate(0), Activate(1, read_value=9)])
         with pytest.raises(SimulationError):
-            _run_wr(sched, "regular", fast=fast)
+            _run_wr(sched, "regular", engine=engine)
 
     @pytest.mark.parametrize("memory", ["atomic", "regular"])
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_read_value_on_write_step_rejected(self, memory, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_read_value_on_write_step_rejected(self, memory, engine):
         sched = ScriptedScheduler([Activate(0, read_value=1)])
         with pytest.raises(SimulationError):
-            _run_wr(sched, memory, fast=fast)
+            _run_wr(sched, memory, engine=engine)
 
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_atomic_precommit_must_match(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_atomic_precommit_must_match(self, engine):
         ok = ScriptedScheduler([
             Activate(0), Activate(1, read_value=1),
             Activate(0), Activate(1, read_value=2),
             Activate(0), Activate(1, read_value=3),
         ])
-        result = _run_wr(ok, "atomic", fast=fast)
+        result = _run_wr(ok, "atomic", engine=engine)
         assert result.decisions[1] == (1, 2, 3)
         assert result.read_resolutions == 0
         bad = ScriptedScheduler([Activate(0),
                                  Activate(1, read_value=BOTTOM)])
         with pytest.raises(SimulationError):
-            _run_wr(bad, "atomic", fast=fast)
+            _run_wr(bad, "atomic", engine=engine)
 
     def test_atomic_default_counts_no_resolutions(self):
         result = solve(TwoProcessProtocol(), ("a", "b"), seed=5)
@@ -353,12 +353,12 @@ class TestKernelResolution:
 def _run_pair_results(protocol_factory, inputs, scheduler_factory, seed,
                       memory, sinks_factory=None):
     out = []
-    for fast in (True, False):
+    for engine in ("fast", "reference"):
         rng = ReplayableRng(seed)
         sinks = sinks_factory() if sinks_factory else ()
         sim = Simulation(protocol_factory(), inputs,
                          scheduler_factory(rng.child("sched")),
-                         rng.child("kernel"), fast=fast, sinks=sinks,
+                         rng.child("kernel"), engine=engine, sinks=sinks,
                          memory=memory)
         result = sim.run(3_000)
         draws = tuple(r.draws for r in sim._proc_rngs)
@@ -410,19 +410,19 @@ class TestWeakDifferential:
 
     def test_journal_bytes_identical_under_regular(self, tmp_path):
         payloads = {}
-        for fast in (True, False):
-            path = tmp_path / f"j_{fast}.jsonl"
+        for engine in ("fast", "reference"):
+            path = tmp_path / f"j_{engine}.jsonl"
             journal = JsonlJournal(str(path), memory="regular")
             rng = ReplayableRng(13)
             sim = Simulation(
                 TwoProcessProtocol(), ("a", "b"),
                 WEAK_SCHEDULERS["adversarial"](rng.child("sched")),
-                rng.child("kernel"), fast=fast, sinks=(journal,),
+                rng.child("kernel"), engine=engine, sinks=(journal,),
                 memory="regular")
             sim.run(3_000)
             journal.close()
-            payloads[fast] = path.read_bytes()
-        assert payloads[True] == payloads[False]
+            payloads[engine] = path.read_bytes()
+        assert payloads["fast"] == payloads["reference"]
 
 
 class TestAtomicZeroCostIdentity:

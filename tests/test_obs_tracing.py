@@ -48,13 +48,13 @@ from repro.sim.rng import ReplayableRng
 # ----------------------------------------------------------------------
 
 def run_one(protocol_factory, inputs, scheduler_factory, seed, *,
-            fast=True, memory=None, max_steps=3_000, sinks=None):
+            engine="fast", memory=None, max_steps=3_000, sinks=None):
     """One run with the runner's exact seed-derivation discipline."""
     rng = ReplayableRng(seed)
     scheduler = scheduler_factory(rng.child("sched"))
     sim = Simulation(
         protocol_factory(), inputs, scheduler, rng.child("kernel"),
-        fast=fast, sinks=sinks, memory=memory,
+        engine=engine, sinks=sinks, memory=memory,
     )
     result = sim.run(max_steps)
     draws = tuple(r.draws for r in sim._proc_rngs)
@@ -118,15 +118,15 @@ class TestTracerNonPerturbation:
 
     @pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
     @pytest.mark.parametrize("memory", MEMORIES)
-    @pytest.mark.parametrize("fast", (True, False))
+    @pytest.mark.parametrize("engine", ("fast", "reference"))
     def test_memory_matrix_identical_with_tracer(self, protocol_name,
-                                                 memory, fast):
+                                                 memory, engine):
         factory, inputs = PROTOCOLS[protocol_name]
         sched = SCHEDULERS["random"]
         bare, draws_bare = run_one(factory, inputs, sched, SEED,
-                                   fast=fast, memory=memory)
+                                   engine=engine, memory=memory)
         traced, draws_traced = run_one(factory, inputs, sched, SEED,
-                                       fast=fast, memory=memory,
+                                       engine=engine, memory=memory,
                                        sinks=(Tracer(),))
         assert_identical(bare, traced)
         assert draws_bare == draws_traced

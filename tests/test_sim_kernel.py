@@ -242,15 +242,15 @@ class TestSchedulerActionNormalization:
         with pytest.raises(SimulationError, match="scheduler returned"):
             sim.step()
 
-    @pytest.mark.parametrize("fast", [True, False])
-    def test_out_of_range_int_rejected(self, fast):
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_out_of_range_int_rejected(self, engine):
         class OutOfRange:
             def choose(self, view):
                 return 99
 
         protocol = TwoProcessProtocol()
         sim = Simulation(protocol, ("a", "b"), OutOfRange(),
-                         ReplayableRng(0), fast=fast)
+                         ReplayableRng(0), engine=engine)
         with pytest.raises(SimulationError, match="invalid processor id"):
             sim.run(10)
 

@@ -1,0 +1,221 @@
+"""Tests for the canonical :class:`~repro.spec.RunSpec` and its hash.
+
+The spec hash is the content address of the run store, so its contract
+is strict: equal specs hash equal *however they were spelled* (default
+vs explicit, alias vs canonical name, kwarg order), the hash is
+identical across interpreter processes and multiprocessing start
+methods (spawn and fork must agree, or a sweep resumed by a
+differently-started worker would miss its own shards), and distinct
+specs never collide within any realistic fixture matrix.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.parallel.tasks import ConstantInputs, ProtocolSpec, SchedulerSpec
+from repro.sim.memory import MemorySpec
+from repro.spec import ObsOptions, RunSpec, SpecError
+
+
+def base_spec(**overrides):
+    kwargs = dict(
+        protocol=ProtocolSpec("two", 2),
+        scheduler=SchedulerSpec("random"),
+        inputs=ConstantInputs(("a", "b")),
+    )
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+def _module_level_protocol_factory():
+    from repro.core.two_process import TwoProcessProtocol
+
+    return TwoProcessProtocol()
+
+
+# Module-level so multiprocessing workers can import it under any start
+# method (spawn re-imports this module in a fresh interpreter).
+def _hash_in_worker(field_order: str) -> str:
+    """Build the base spec with fields supplied in a drawn order."""
+    fields = {
+        "protocol": ProtocolSpec("two", 2),
+        "scheduler": SchedulerSpec("random"),
+        "inputs": ConstantInputs(("a", "b")),
+        "memory": "atomic",
+        "engine": None,
+        "max_steps": 4000,
+    }
+    ordered = {name: fields[name] for name in field_order.split(",")}
+    return RunSpec(**ordered).spec_hash()
+
+
+class TestCanonicalForm:
+    def test_equal_specs_hash_equal_regardless_of_spelling(self):
+        default = base_spec()
+        explicit = base_spec(memory=MemorySpec("atomic"), engine="fast",
+                             max_steps=4000, strict=False,
+                             obs=ObsOptions())
+        by_name = base_spec(memory="atomic")
+        assert default == explicit == by_name
+        assert default.spec_hash() == explicit.spec_hash() \
+            == by_name.spec_hash()
+
+    def test_engine_none_resolves_to_registry_default(self):
+        assert base_spec().engine == "fast"
+        assert base_spec(engine="fast") == base_spec(engine=None)
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = base_spec().canonical_json()
+        import json
+
+        data = json.loads(text)
+        assert text == json.dumps(data, sort_keys=True,
+                                  separators=(",", ":"),
+                                  ensure_ascii=True)
+        assert data["version"] == 1
+        assert data["engine"] == "fast"
+        assert data["memory"] == "atomic"
+
+    def test_pickle_round_trip_preserves_hash(self):
+        spec = base_spec(memory="regular", engine="vector", strict=True)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_describe_mentions_every_knob(self):
+        text = base_spec(memory="safe", engine="vector",
+                         max_steps=123).describe()
+        for token in ("two(2)", "safe", "vector", "123", "random"):
+            assert token in text
+
+
+class TestRejection:
+    def test_arbitrary_factories_rejected(self):
+        from repro.core.two_process import TwoProcessProtocol
+
+        with pytest.raises(SpecError, match="ProtocolSpec"):
+            base_spec(protocol=lambda: TwoProcessProtocol())
+        with pytest.raises(SpecError, match="SchedulerSpec"):
+            base_spec(scheduler=lambda rng: None)
+        with pytest.raises(SpecError, match="ConstantInputs"):
+            base_spec(inputs=lambda i, rng: ("a", "b"))
+
+    def test_unknown_engine_rejected(self):
+        from repro.engines import UnknownEngineError
+
+        with pytest.raises(UnknownEngineError):
+            base_spec(engine="fsat")
+
+    def test_non_scalar_inputs_rejected(self):
+        spec = base_spec(inputs=ConstantInputs((("a",), "b")))
+        with pytest.raises(SpecError, match="not.*canonically"):
+            spec.spec_hash()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(SpecError, match="max_steps"):
+            base_spec(max_steps=0)
+
+
+class TestCrossProcessStability:
+    ORDERS = (
+        "protocol,scheduler,inputs,memory,engine,max_steps",
+        "max_steps,engine,memory,inputs,scheduler,protocol",
+        "inputs,protocol,max_steps,scheduler,engine,memory",
+    )
+
+    def test_kwarg_order_permutations_agree_in_process(self):
+        hashes = {_hash_in_worker(order) for order in self.ORDERS}
+        assert len(hashes) == 1
+        assert hashes == {base_spec().spec_hash()}
+
+    @pytest.mark.parametrize(
+        "method",
+        [m for m in ("spawn", "fork")
+         if m in multiprocessing.get_all_start_methods()])
+    def test_hash_identical_across_start_methods(self, method):
+        ctx = multiprocessing.get_context(method)
+        with ctx.Pool(1) as pool:
+            worker_hashes = pool.map(_hash_in_worker, self.ORDERS)
+        assert set(worker_hashes) == {base_spec().spec_hash()}
+
+
+class TestNoCollisions:
+    def test_distinct_specs_never_collide(self):
+        specs = []
+        for protocol in (ProtocolSpec("two", 2),
+                         ProtocolSpec("three-bounded", 3),
+                         ProtocolSpec("n", 4)):
+            inputs = ConstantInputs(tuple(
+                "ab"[i % 2] for i in range(protocol.n_processes)))
+            for scheduler in ("random", "round-robin"):
+                for memory in ("atomic", "regular"):
+                    for engine in ("fast", "reference"):
+                        for max_steps in (1000, 4000):
+                            for obs in (ObsOptions(),
+                                        ObsOptions(metrics=True),
+                                        ObsOptions(metrics=True,
+                                                   journal=True)):
+                                specs.append(RunSpec(
+                                    protocol=protocol,
+                                    scheduler=SchedulerSpec(scheduler),
+                                    inputs=inputs,
+                                    memory=memory,
+                                    engine=engine,
+                                    max_steps=max_steps,
+                                    obs=obs,
+                                ))
+        hashes = [s.spec_hash() for s in specs]
+        assert len(set(hashes)) == len(specs)
+
+    def test_obs_options_are_part_of_the_address(self):
+        # What is recorded is part of the content address: a sweep
+        # stored without journal bytes cannot serve one that needs them.
+        plain = base_spec()
+        with_journal = base_spec(obs=ObsOptions(journal=True))
+        assert plain.spec_hash() != with_journal.spec_hash()
+
+    def test_str_int_inputs_distinguished(self):
+        # json.dumps would render 1 and "1" differently, but guard the
+        # property explicitly: it is what keeps the address injective.
+        a = base_spec(inputs=ConstantInputs((1, 0)))
+        b = base_spec(inputs=ConstantInputs(("1", "0")))
+        assert a.spec_hash() != b.spec_hash()
+
+
+class TestFromBatch:
+    def test_lifts_batch_spec(self):
+        from repro.parallel.engine import BatchSpec
+
+        batch = BatchSpec(
+            protocol_factory=ProtocolSpec("two", 2),
+            scheduler_factory=SchedulerSpec("random"),
+            inputs_factory=ConstantInputs(("a", "b")),
+            seed=7, memory=MemorySpec("regular"), engine="reference")
+        spec = RunSpec.from_batch(batch, max_steps=500,
+                                  obs=ObsOptions(metrics=True))
+        assert spec.memory.name == "regular"
+        assert spec.engine == "reference"
+        assert spec.max_steps == 500
+        assert spec.obs.metrics
+
+    def test_from_batch_rejects_arbitrary_factories(self):
+        from repro.parallel.engine import BatchSpec
+
+        batch = BatchSpec(
+            protocol_factory=_module_level_protocol_factory,
+            scheduler_factory=SchedulerSpec("random"),
+            inputs_factory=ConstantInputs(("a", "b")),
+            seed=7)
+        with pytest.raises(SpecError, match="store-backed sweeps"):
+            RunSpec.from_batch(batch, max_steps=500)
+
+    def test_factories_triple(self):
+        spec = base_spec()
+        protocol, scheduler, inputs = spec.factories()
+        assert protocol is spec.protocol
+        assert scheduler is spec.scheduler
+        assert inputs is spec.inputs
