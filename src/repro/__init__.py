@@ -44,7 +44,14 @@ Package map
     flags, the single validation point for every engine selection.
 ``repro.store``
     Content-addressed run store: crash-safe shard commits, resumable
-    sweeps, warm-cache repeats — see ``docs/STORE.md``.
+    sweeps, warm-cache repeats, checksummed self-healing shards — see
+    ``docs/STORE.md``.
+``repro.parallel``
+    Sharded multi-process sweeps, plus the fault-tolerant supervisor
+    (watchdogs, deterministic retries, quarantine) — see
+    ``docs/ROBUSTNESS.md``.
+``repro.faults``
+    Deterministic, replayable fault injection for the chaos suite.
 
 Quickstart
 ----------
@@ -73,10 +80,13 @@ from repro.errors import (
     SimulationError,
     VerificationError,
 )
+from repro.faults import FaultAction, FaultPlan, InjectedFault
 from repro.obs import JsonlJournal, MetricsRegistry, PhaseTimer
+from repro.parallel.supervisor import (FaultReport, SupervisorError,
+                                       SupervisorPolicy, run_supervised)
 from repro.sim import BOTTOM, ExperimentRunner, ReplayableRng, Simulation
 from repro.spec import ObsOptions, RunSpec, SpecError
-from repro.store import RunStore, StoreError, StoreStats
+from repro.store import RunStore, ShardVerdict, StoreError, StoreStats
 
 __version__ = "1.1.0"
 
@@ -97,6 +107,10 @@ __all__ = [
     "VerificationError",
     "BOTTOM",
     "ExperimentRunner",
+    "FaultAction",
+    "FaultPlan",
+    "FaultReport",
+    "InjectedFault",
     "JsonlJournal",
     "MetricsRegistry",
     "ObsOptions",
@@ -104,9 +118,13 @@ __all__ = [
     "ReplayableRng",
     "RunSpec",
     "RunStore",
+    "ShardVerdict",
     "Simulation",
     "SpecError",
     "StoreError",
     "StoreStats",
+    "SupervisorError",
+    "SupervisorPolicy",
     "__version__",
+    "run_supervised",
 ]

@@ -17,8 +17,9 @@ Subcommands map one-to-one onto the library's main entry points:
 * ``top``            — follow a sweep's live telemetry file (one row
   per shard: progress, steps/s, ETA, tail percentiles);
 * ``journal verify`` — check a JSONL journal for truncation or damage;
-* ``store``          — inspect or garbage-collect a content-addressed
-  run store (``ls``/``show``/``gc``; see docs/STORE.md).
+* ``store``          — inspect, checksum-verify, or garbage-collect a
+  content-addressed run store (``ls``/``show``/``verify``/``gc``; see
+  docs/STORE.md).
 
 Every ``--engine`` flag below validates through the engine registry
 (:mod:`repro.engines`): the accepted vocabulary, the default, and the
@@ -39,6 +40,8 @@ Examples::
     python -m repro report --runs 100000 --workers 8 --telemetry top.jsonl
     python -m repro report --runs 100000 --store runs/ --workers 8
     python -m repro report --runs 100000 --store runs/ --resume
+    python -m repro report --runs 100000 --workers 8 --supervised \
+        --shard-timeout 300 --max-retries 2 --on-fault degrade
     python -m repro report --from-journal run.jsonl
     python -m repro report --runs 200 --profile --folded profile.folded
     python -m repro trace --seed 42 --index 7
@@ -46,6 +49,7 @@ Examples::
     python -m repro journal verify run.jsonl
     python -m repro store ls runs/
     python -m repro store show runs/ 260585
+    python -m repro store verify runs/
     python -m repro store gc runs/ --keep 260585 --dry-run
 """
 
@@ -422,23 +426,29 @@ def _cmd_top(args: argparse.Namespace) -> int:
     import os
     import time
 
-    from repro.obs.telemetry import (latest_by_shard, read_telemetry,
-                                     render_top)
+    from repro.obs.telemetry import (latest_by_shard, read_fault_events,
+                                     read_telemetry, render_top)
 
     def load():
-        return (read_telemetry(args.path)
-                if os.path.exists(args.path) else [])
+        if not os.path.exists(args.path):
+            return [], None
+        beats = read_telemetry(args.path)
+        # A supervised sweep interleaves fault records; their presence
+        # turns on the faults column.  Plain sweeps render unchanged.
+        events = read_fault_events(args.path)
+        return beats, (events if events else None)
 
     if not args.follow:
-        print(render_top(load()))
+        beats, events = load()
+        print(render_top(beats, events))
         return 0
     try:
         while True:
-            beats = load()
+            beats, events = load()
             # Clear-and-home keeps one live table, top(1)-style.
             print("\x1b[2J\x1b[H", end="")
             print(f"repro top — {args.path}")
-            print(render_top(beats))
+            print(render_top(beats, events))
             latest = latest_by_shard(beats)
             if latest and all(b.done for b in latest.values()):
                 return 0
@@ -469,6 +479,24 @@ def _cmd_store(args: argparse.Namespace) -> int:
             print(json.dumps(store.show(args.spec_hash), indent=2,
                              sort_keys=True))
             return 0
+        if args.store_command == "verify":
+            verdicts = store.verify(args.spec_hash)
+            if not verdicts:
+                print("(no committed shards)")
+                return 0
+            bad = 0
+            for v in verdicts:
+                if v.ok:
+                    print(f"ok   {v.path}  {v.detail}")
+                else:
+                    bad += 1
+                    print(f"BAD  {v.path}")
+                    print(f"     {v.detail}")
+            print(f"{len(verdicts)} shards checked, {bad} damaged"
+                  + ("" if not bad else " (a healing resume — rerun "
+                     "the sweep with --store — will quarantine and "
+                     "recompute them)"))
+            return 0 if not bad else 1
         # gc
         keep = args.keep.split(",") if args.keep else None
         removed = store.gc(keep=keep, dry_run=args.dry_run)
@@ -508,10 +536,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
-    if (args.timing or args.profile) and args.workers > 1:
+    supervise = (args.supervised or args.shard_timeout is not None
+                 or args.max_retries is not None
+                 or args.on_fault is not None)
+    policy = None
+    if supervise:
+        from repro.parallel.supervisor import SupervisorPolicy
+
+        kwargs = {}
+        if args.shard_timeout is not None:
+            kwargs["shard_timeout"] = args.shard_timeout
+        if args.max_retries is not None:
+            kwargs["max_retries"] = args.max_retries
+        if args.on_fault is not None:
+            kwargs["on_fault"] = args.on_fault
+        try:
+            policy = SupervisorPolicy(**kwargs)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    if (args.timing or args.profile) and (args.workers > 1 or supervise):
         raise SystemExit("--timing/--profile need --workers 1 "
                          "(wall-clock phases cannot be attributed "
-                         "across worker processes)")
+                         "across worker processes, which supervised "
+                         "batches always use)")
     if args.folded and not args.profile:
         raise SystemExit("--folded needs --profile (it exports the "
                          "profiler's component attribution)")
@@ -579,10 +626,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         telemetry_path=args.telemetry,
         store=store,
+        supervise=supervise,
+        policy=policy,
     )
 
     sharded = (f", {args.workers} workers"
                if args.workers > 1 else "")
+    if supervise:
+        sharded += ", supervised"
     _print_report(
         metrics,
         f"{args.runs} runs of {protocol_name!r} on inputs {args.inputs} "
@@ -611,6 +662,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"  shards: {acct.hits} from cache, {acct.misses} executed")
         print(f"  runs:   {acct.runs_from_cache} from cache, "
               f"{acct.runs_executed} executed")
+    if stats.faults is not None:
+        rep = stats.faults
+        print(f"\nsupervisor: {rep.n_faults} faults absorbed "
+              f"({rep.n_retries} retries, {rep.n_degradations} "
+              f"degradations, {len(rep.healed)} healed shard files)")
+        for kind, n in sorted(rep.counts().items()):
+            print(f"  {kind}: {n}")
+        for event in rep.events:
+            where = (f"shard {event.shard} attempt {event.attempt}"
+                     if event.shard >= 0 else "resume preamble")
+            print(f"  {where}: {event.kind} -> {event.action}")
+        if not rep.ok:
+            ranges = ", ".join(f"[{a}, {b})"
+                               for a, b in rep.quarantined_ranges())
+            print(f"  QUARANTINED run ranges (missing from results): "
+                  f"{ranges}")
     if args.telemetry:
         print(f"telemetry: {args.telemetry}")
     if args.json:
@@ -627,7 +694,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         dump_records([record], path=args.json)
         print(f"json record: {args.json}")
     violations = stats.n_consistency_violations
-    return 0 if violations == 0 else 1
+    quarantined = stats.faults is not None and not stats.faults.ok
+    return 0 if violations == 0 and not quarantined else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -788,6 +856,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "PATH; follow with 'repro top PATH'")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also dump an ExperimentRecord JSON file to PATH")
+    p.add_argument("--supervised", action="store_true",
+                   help="run shards under the fault-tolerant "
+                        "supervisor: watchdogs, bounded deterministic "
+                        "retries, quarantine instead of sweep death — "
+                        "results stay bit-identical (docs/ROBUSTNESS.md)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill and retry any shard attempt exceeding "
+                        "this wall-clock budget (implies --supervised)")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="retries per shard before quarantine (implies "
+                        "--supervised; default 2)")
+    p.add_argument("--on-fault", default=None,
+                   choices=["retry", "degrade", "quarantine", "fail"],
+                   help="fault policy (implies --supervised): retry "
+                        "on the same engine, degrade down the engine "
+                        "ladder, quarantine immediately, or fail the "
+                        "sweep on the first fault (default retry)")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -859,9 +945,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="spec hash (an unambiguous prefix is enough)")
     sp.set_defaults(func=_cmd_store)
     sp = ssub.add_parser(
+        "verify",
+        help="checksum every committed shard (format, SHA-256, key) "
+             "and report damage without modifying anything")
+    sp.add_argument("root", help="store directory")
+    sp.add_argument("spec_hash", nargs="?", default=None,
+                    help="optionally narrow to one spec (an "
+                         "unambiguous prefix is enough)")
+    sp.set_defaults(func=_cmd_store)
+    sp = ssub.add_parser(
         "gc",
-        help="remove .tmp orphans (always) and, with --keep, every "
-             "spec tree not matching a kept prefix")
+        help="remove .tmp orphans and quarantined .corrupt files "
+             "(always) and, with --keep, every spec tree not matching "
+             "a kept prefix")
     sp.add_argument("root", help="store directory")
     sp.add_argument("--keep", default=None, metavar="PREFIX[,PREFIX]",
                     help="comma-separated spec-hash prefixes to keep; "

@@ -144,6 +144,9 @@ def read_telemetry(path: str) -> List[Heartbeat]:
 
     A trailing partial line (the emitter mid-write) is skipped, not an
     error — the follower polls files that are still being appended.
+    Supervisor event records (``{"kind": ...}`` lines interleaved by
+    :mod:`repro.parallel.supervisor`) are skipped, not heartbeats;
+    read them with :func:`read_fault_events`.
     """
     beats: List[Heartbeat] = []
     with open(path) as fh:
@@ -154,10 +157,38 @@ def read_telemetry(path: str) -> List[Heartbeat]:
             if not line:
                 continue
             try:
-                beats.append(Heartbeat.from_dict(json.loads(line)))
+                doc = json.loads(line)
+                if isinstance(doc, dict) and "kind" in doc:
+                    continue
+                beats.append(Heartbeat.from_dict(doc))
             except (ValueError, KeyError, TypeError):
                 break
     return beats
+
+
+def read_fault_events(path: str) -> List[Dict[str, Any]]:
+    """Load the supervisor's fault records from a telemetry file.
+
+    The supervisor (:mod:`repro.parallel.supervisor`) interleaves
+    ``{"kind": "fault", "shard": ..., "attempt": ..., "fault": ...,
+    "action": ...}`` records among the heartbeats.  Same
+    partial-trailing-line tolerance as :func:`read_telemetry`.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            if not line.endswith("\n"):
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                break
+            if isinstance(doc, dict) and doc.get("kind") == "fault":
+                events.append(doc)
+    return events
 
 
 def latest_by_shard(beats: Iterable[Heartbeat]) -> Dict[int, Heartbeat]:
@@ -186,41 +217,82 @@ def _fmt_eta(eta_s: Optional[float]) -> str:
     return f"{eta_s:.1f}s"
 
 
-def render_top(beats: Iterable[Heartbeat]) -> str:
+def render_top(beats: Iterable[Heartbeat],
+               fault_events: Optional[List[Dict[str, Any]]] = None) -> str:
     """Render the ``repro top`` table: one row per shard plus totals.
 
     Takes the full beat list (e.g. :func:`read_telemetry` output) and
     shows each shard's latest state — progress, throughput, ETA, and
     the current ``run_steps`` tail — with an aggregate footer.
+
+    ``fault_events`` (e.g. :func:`read_fault_events` output, for
+    supervised sweeps) adds a ``faults`` column counting the faults
+    each shard absorbed — ``3!`` flags a shard whose latest fault was
+    a quarantine.  ``None`` (the default, and any unsupervised sweep)
+    renders the classic table unchanged.
     """
     latest = latest_by_shard(beats)
-    if not latest:
+    faults_by_shard: Dict[int, int] = {}
+    quarantined: set = set()
+    for event in (fault_events or []):
+        shard = event.get("shard")
+        if not isinstance(shard, int) or shard < 0:
+            continue
+        faults_by_shard[shard] = faults_by_shard.get(shard, 0) + 1
+        if event.get("action") == "quarantine":
+            quarantined.add(shard)
+    if not latest and not faults_by_shard:
         return "(no heartbeats yet)"
+    with_faults = fault_events is not None
+
+    def _fault_cell(shard: int) -> str:
+        n = faults_by_shard.get(shard, 0)
+        return f"{n}{'!' if shard in quarantined else ''}"
+
+    fault_header = f"  {'faults':>6}" if with_faults else ""
     header = (f"{'shard':>5}  {'runs':>13}  {'%':>5}  {'steps/s':>10}  "
-              f"{'eta':>6}  {'p50':>6}  {'p99':>6}  {'max':>6}  state")
+              f"{'eta':>6}  {'p50':>6}  {'p99':>6}  {'max':>6}"
+              f"{fault_header}  state")
     lines = [header]
-    for shard in sorted(latest):
-        b = latest[shard]
+    for shard in sorted(set(latest) | set(faults_by_shard)):
+        b = latest.get(shard)
+        fault_cell = f"  {_fault_cell(shard):>6}" if with_faults else ""
+        if b is None:
+            # A shard that faulted before its first heartbeat (e.g.
+            # crash-at-start): all progress columns are unknowns.
+            lines.append(
+                f"{shard:>5}  {'-':>13}  {'-':>5}  {'-':>10}  {'-':>6}  "
+                f"{'-':>6}  {'-':>6}  {'-':>6}{fault_cell}  "
+                f"{'quarantined' if shard in quarantined else 'faulted'}"
+            )
+            continue
         pct = 100.0 * b.runs_done / b.runs_total if b.runs_total else 0.0
         tail = b.tail or {}
+        state = 'done' if b.done else 'running'
+        if shard in quarantined:
+            state = 'quarantined'
         lines.append(
             f"{shard:>5}  {b.runs_done:>6}/{b.runs_total:<6}  "
             f"{pct:>5.1f}  {b.steps_per_s:>10.0f}  "
             f"{_fmt_eta(b.eta_s):>6}  "
             f"{_fmt_tail(tail.get('p50')):>6}  "
             f"{_fmt_tail(tail.get('p99')):>6}  "
-            f"{_fmt_tail(tail.get('max')):>6}  "
-            f"{'done' if b.done else 'running'}"
+            f"{_fmt_tail(tail.get('max')):>6}"
+            f"{fault_cell}  "
+            f"{state}"
         )
     runs_done = sum(b.runs_done for b in latest.values())
     runs_total = sum(b.runs_total for b in latest.values())
     steps = sum(b.steps for b in latest.values())
     rate = sum(b.steps_per_s for b in latest.values() if not b.done)
-    all_done = all(b.done for b in latest.values())
+    all_done = all(b.done for b in latest.values()) if latest else False
     pct = 100.0 * runs_done / runs_total if runs_total else 0.0
+    total_faults = sum(faults_by_shard.values())
+    fault_cell = f"  {total_faults:>6}" if with_faults else ""
     lines.append(
         f"{'all':>5}  {runs_done:>6}/{runs_total:<6}  {pct:>5.1f}  "
-        f"{rate:>10.0f}  {'-':>6}  {'':>6}  {'':>6}  {'':>6}  "
+        f"{rate:>10.0f}  {'-':>6}  {'':>6}  {'':>6}  {'':>6}"
+        f"{fault_cell}  "
         f"{'done' if all_done else 'running'} "
         f"({steps} steps total)"
     )

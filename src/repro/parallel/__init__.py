@@ -12,15 +12,21 @@ so they shard across processes with bit-identical results:
   ``multiprocessing`` worker with its own metrics registry / journal
   shard, and deterministically merges everything back into one
   :class:`~repro.sim.runner.BatchStats`.
+* :mod:`repro.parallel.supervisor` — :func:`run_supervised`, the
+  fault-tolerant sibling: each shard in its own watched child process
+  with deterministic bounded retries, engine degradation, and
+  quarantine — same bit-identical merge, plus a structured
+  :class:`FaultReport` (see ``docs/ROBUSTNESS.md``).
 * :mod:`repro.parallel.tasks` — picklable factory specs
   (:class:`ProtocolSpec`, :class:`SchedulerSpec`,
   :class:`ConstantInputs`) so task descriptions survive the ``spawn``
   boundary.
 
-Most callers never import this package directly: pass ``workers=N`` to
-:meth:`ExperimentRunner.run_many` or ``--workers N`` to
-``repro report``.  See ``docs/EXPERIMENTS.md`` for the sharding
-contract and benchmark results.
+Most callers never import this package directly: pass ``workers=N``
+(and ``supervise=True``) to :meth:`ExperimentRunner.run_many` or
+``--workers N`` / ``--supervised`` to ``repro report``.  See
+``docs/EXPERIMENTS.md`` for the sharding contract and benchmark
+results.
 """
 
 from repro.parallel.engine import (
@@ -30,6 +36,14 @@ from repro.parallel.engine import (
     plan_shards,
     run_parallel,
     shard_journal_path,
+)
+from repro.parallel.supervisor import (
+    DEGRADE_LADDER,
+    FaultEvent,
+    FaultReport,
+    SupervisorError,
+    SupervisorPolicy,
+    run_supervised,
 )
 from repro.parallel.tasks import (
     PROTOCOL_NAMES,
@@ -46,6 +60,12 @@ __all__ = [
     "plan_shards",
     "run_parallel",
     "shard_journal_path",
+    "DEGRADE_LADDER",
+    "FaultEvent",
+    "FaultReport",
+    "SupervisorError",
+    "SupervisorPolicy",
+    "run_supervised",
     "ConstantInputs",
     "ProtocolSpec",
     "SchedulerSpec",

@@ -206,29 +206,40 @@ def _drain_heartbeats(beats, fh, async_result) -> None:
 
     Runs in the parent while the pool works; returns once the pool is
     done *and* the queue is empty, so the file always ends with every
-    shard's final ``done`` beat.
+    shard's final ``done`` beat.  The final drain happens strictly
+    after ``async_result`` completes: a worker's ``put`` is a
+    synchronous manager RPC that returns before its task does, so once
+    every task has returned, every beat is already in the queue — a
+    blocking-with-timeout drain then empties it without racing the
+    manager, where the old ``get_nowait`` sweep could drop a
+    final-shard beat still crossing the proxy.
     """
     def _append(d) -> None:
         fh.write(json.dumps(d, sort_keys=True) + "\n")
         fh.flush()
 
-    while True:
+    while not async_result.ready():
         try:
             _append(beats.get(timeout=0.05))
         except queue_module.Empty:
-            if async_result.ready():
-                break
+            pass
+    async_result.wait()
     while True:
         try:
-            _append(beats.get_nowait())
+            _append(beats.get(timeout=0.2))
         except queue_module.Empty:
             break
 
 
 def _check_picklable(spec: BatchSpec) -> None:
+    # Only genuine pickling failures get the "use the spec classes"
+    # diagnosis; anything else a factory's __reduce__/__getstate__
+    # raises is a real bug in that factory and propagates unchanged
+    # (with its original traceback), not dressed up as a pickle
+    # problem.
     try:
         pickle.dumps(spec)
-    except Exception as exc:
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
         raise ValueError(
             "parallel batches need picklable factories (they cross a "
             "process boundary): use module-level functions or the spec "
@@ -236,6 +247,22 @@ def _check_picklable(spec: BatchSpec) -> None:
             "SchedulerSpec, ConstantInputs) instead of lambdas or "
             f"closures [pickle said: {exc}]"
         ) from exc
+
+
+def _warm_imports() -> None:
+    """Pre-import the simulation stack in the parent process.
+
+    The factory specs in :mod:`repro.parallel.tasks` import lazily on
+    first call, so a worker's first shard pays ~100ms of imports the
+    parent never triggered.  Under the ``fork`` start method children
+    inherit the parent's loaded modules — importing here once makes
+    every forked worker (pool worker or per-shard supervised child)
+    start warm.  Harmless under ``spawn``, where children re-import
+    regardless.
+    """
+    import repro.core  # noqa: F401
+    import repro.sched  # noqa: F401
+    import repro.sim.runner  # noqa: F401
 
 
 def _shard_payload(task: ShardTask, result: ShardResult):
@@ -308,6 +335,7 @@ def run_parallel(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     _check_picklable(spec)
+    _warm_imports()
 
     shards = plan_shards(n_runs, workers, shard_size)
     with_metrics = registry is not None
@@ -326,7 +354,11 @@ def run_parallel(
         spec_hash = run_spec.spec_hash()
         store_stats = StoreStats(spec_hash=spec_hash)
         for k, (start, stop) in enumerate(shards):
-            payload = store.load_shard(spec_hash, spec.seed, start, stop)
+            # heal=True: a committed shard damaged at rest (failed
+            # disk, torn copy) is quarantined as *.corrupt and simply
+            # re-executed — a fact is always recomputable.
+            payload = store.load_shard(spec_hash, spec.seed, start, stop,
+                                       heal=True)
             if payload is not None:
                 cached[k] = payload
                 store_stats.hits += 1

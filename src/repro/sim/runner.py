@@ -24,6 +24,8 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, Hashable, List,
                     Optional, Sequence)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults import FaultPlan
+    from repro.parallel.supervisor import FaultReport, SupervisorPolicy
     from repro.store import RunStore, StoreStats
 
 from repro.engines import resolve_sim_engine
@@ -125,6 +127,13 @@ class BatchStats:
     ``store`` carries the :class:`~repro.store.StoreStats` cache
     accounting (hits, misses, runs served from cache vs executed) when
     the batch ran against a :class:`~repro.store.RunStore`.
+
+    ``faults`` carries the
+    :class:`~repro.parallel.supervisor.FaultReport` when the batch ran
+    supervised (``run_many(..., supervise=True)``): every fault the
+    supervisor absorbed, plus the quarantined index ranges ``runs``
+    omits.  ``None`` on unsupervised batches; a supervised fault-free
+    batch carries an empty report (``faults.ok``).
     """
 
     runs: List[RunStats]
@@ -133,6 +142,7 @@ class BatchStats:
     journal_path: Optional[str] = None
     journal_events: Optional[int] = None
     store: Optional["StoreStats"] = None
+    faults: Optional["FaultReport"] = None
 
     def metrics_dict(self) -> Optional[Dict[str, Any]]:
         """JSON-ready snapshot of the attached registry, if any."""
@@ -438,6 +448,9 @@ class ExperimentRunner:
         telemetry_path: Optional[str] = None,
         mp_context: str = "spawn",
         store: Optional["RunStore"] = None,
+        supervise: bool = False,
+        policy: Optional["SupervisorPolicy"] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> BatchStats:
         """Execute ``n_runs`` independent runs and aggregate.
 
@@ -475,8 +488,21 @@ class ExperimentRunner:
         sharded engine (even at ``workers=1``, so interruption
         granularity is the shard) and inherit its restrictions:
         picklable spec-class factories and MetricsRegistry-only sinks.
+
+        ``supervise=True`` (or passing ``policy`` / ``fault_plan``)
+        routes the batch through the fault-tolerant supervisor
+        (:mod:`repro.parallel.supervisor`): each shard runs in its own
+        watched child process with bounded deterministic retries,
+        optional engine degradation, and quarantine instead of sweep
+        death.  Results stay bit-identical to the unsupervised batch;
+        the returned stats gain a ``faults``
+        :class:`~repro.parallel.supervisor.FaultReport`.  Supervised
+        batches carry the same restrictions as parallel ones (they
+        always cross a process boundary, even at ``workers=1``).
         """
-        if workers > 1 or store is not None:
+        supervise = supervise or policy is not None \
+            or fault_plan is not None
+        if workers > 1 or store is not None or supervise:
             from repro.parallel.engine import BatchSpec, run_parallel
 
             unsupported = [s for s in self._sinks
@@ -498,6 +524,17 @@ class ExperimentRunner:
                 memory=self._memory,
                 engine=self._engine,
             )
+            if supervise:
+                from repro.parallel.supervisor import run_supervised
+
+                return run_supervised(
+                    spec, n_runs, max_steps,
+                    workers=workers, shard_size=shard_size,
+                    journal_path=journal_path,
+                    telemetry_path=telemetry_path,
+                    registry=self.metrics, mp_context=mp_context,
+                    store=store, policy=policy, fault_plan=fault_plan,
+                )
             return run_parallel(
                 spec, n_runs, max_steps,
                 workers=workers, shard_size=shard_size,

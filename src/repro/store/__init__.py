@@ -41,18 +41,35 @@ either exists whole or not at all; a crash mid-commit leaves only a
 ``.tmp`` that :meth:`RunStore.gc` sweeps and that loading never
 consults.
 
+Self-healing (format 2)
+-----------------------
+
+Every committed shard carries a SHA-256 checksum over its pickled
+payload, so at-rest damage (truncation, bit flips, torn writes from a
+non-atomic copy) is *detected*, never silently deserialized.  By
+default a damaged shard raises :class:`StoreError` — the conservative
+contract for direct loads.  Resumable sweeps pass ``heal=True``:
+the damaged file is renamed to ``<shard>.corrupt`` (kept for
+forensics), recorded on :attr:`RunStore.healed`, and the load answers
+``None`` so the supervisor simply re-executes the shard — a committed
+fact is always recomputable because runs are pure functions of
+``(root_seed, index)``.  ``repro store verify`` (:meth:`RunStore.verify`)
+checksums every committed shard without loading payloads into a sweep.
+
 GC contract
 -----------
 
-:meth:`RunStore.gc` always removes orphaned ``.tmp`` files (they are
-never readable state).  Committed shards are removed only when the
-caller names the spec hashes to *keep* — the store never ages out
-facts on its own, because a content-addressed fact cannot go stale.
+:meth:`RunStore.gc` always removes orphaned ``.tmp`` files and
+quarantined ``.corrupt`` files (neither is readable state).  Committed
+shards are removed only when the caller names the spec hashes to
+*keep* — the store never ages out facts on its own, because a
+content-addressed fact cannot go stale.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import io
 import json
 import os
@@ -62,7 +79,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.spec import RunSpec
 
 #: On-disk payload format; bump on incompatible ShardPayload changes.
-STORE_FORMAT = 1
+#: Format 2 wraps the pickled payload in a checksummed envelope
+#: (``sha256`` over the payload bytes) so damage is detectable.
+STORE_FORMAT = 2
 
 _MARKER = "store.json"
 _SPECS = "specs"
@@ -107,6 +126,16 @@ class StoreStats:
 
 
 @dataclasses.dataclass(frozen=True)
+class ShardVerdict:
+    """One shard's :meth:`RunStore.verify` result."""
+
+    path: str
+    spec_hash: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
 class StoreEntry:
     """One spec's footprint in the store (``repro store ls`` row)."""
 
@@ -132,6 +161,10 @@ class RunStore:
         self.root = root
         self.on_commit: Optional[Callable[[str, int, int, int, str],
                                           None]] = None
+        #: Paths of damaged shard files renamed to ``*.corrupt`` by
+        #: healing loads (``load_shard(..., heal=True)``), in detection
+        #: order.  The supervisor folds these into its FaultReport.
+        self.healed: List[str] = []
         os.makedirs(os.path.join(root, _SPECS), exist_ok=True)
         marker = os.path.join(root, _MARKER)
         if not os.path.exists(marker):
@@ -164,17 +197,13 @@ class RunStore:
 
     # -- read side -----------------------------------------------------
 
-    def load_shard(self, spec_hash: str, root_seed: int,
-                   start: int, stop: int) -> Optional[ShardPayload]:
-        """The committed payload for the exact key, or ``None``.
+    def _read_shard_doc(self, path: str) -> Dict[str, Any]:
+        """Load + structurally validate one shard file (no key check).
 
-        Only whole, format-matching files answer; a damaged file (which
-        the atomic commit protocol never produces by itself) raises
-        :class:`StoreError` rather than silently re-executing over it.
+        Raises :class:`StoreError` on any damage: unreadable pickle,
+        wrong format, or a payload whose bytes no longer match the
+        committed SHA-256.
         """
-        path = self.shard_path(spec_hash, root_seed, start, stop)
-        if not os.path.exists(path):
-            return None
         try:
             with open(path, "rb") as fh:
                 doc = pickle.load(fh)
@@ -183,17 +212,57 @@ class RunStore:
                 f"unreadable shard {path}: {exc} (the store only "
                 f"writes whole files; remove it to re-execute)"
             ) from exc
-        if doc.get("format") != STORE_FORMAT:
+        if not isinstance(doc, dict) or doc.get("format") != STORE_FORMAT:
+            fmt = doc.get("format") if isinstance(doc, dict) else None
             raise StoreError(
-                f"shard {path} has format {doc.get('format')!r}; this "
+                f"shard {path} has format {fmt!r}; this "
                 f"build reads format {STORE_FORMAT}")
-        key = (doc.get("spec_hash"), doc.get("root_seed"),
-               doc.get("start"), doc.get("stop"))
-        if key != (spec_hash, root_seed, start, stop):
+        payload_bytes = doc.get("payload")
+        digest = hashlib.sha256(payload_bytes).hexdigest() \
+            if isinstance(payload_bytes, bytes) else None
+        if digest is None or digest != doc.get("sha256"):
             raise StoreError(
-                f"shard {path} is keyed {key}, not "
-                f"{(spec_hash, root_seed, start, stop)}")
-        return doc["payload"]
+                f"shard {path} fails its checksum (committed "
+                f"{str(doc.get('sha256'))[:12]}…, recomputed "
+                f"{str(digest)[:12]}…): the file was damaged after "
+                f"commit")
+        return doc
+
+    def _heal(self, path: str) -> None:
+        """Quarantine a damaged shard file as ``<path>.corrupt``."""
+        os.replace(path, path + ".corrupt")
+        self.healed.append(path)
+
+    def load_shard(self, spec_hash: str, root_seed: int,
+                   start: int, stop: int,
+                   heal: bool = False) -> Optional[ShardPayload]:
+        """The committed payload for the exact key, or ``None``.
+
+        Only whole, checksum-matching files answer.  A damaged or
+        mis-keyed file (which the atomic commit protocol never produces
+        by itself) raises :class:`StoreError` by default, rather than
+        silently re-executing over it.  With ``heal=True`` — the
+        resumable-sweep path — the damaged file is renamed to
+        ``<path>.corrupt``, recorded on :attr:`healed`, and the load
+        answers ``None`` so the caller recomputes the shard.
+        """
+        path = self.shard_path(spec_hash, root_seed, start, stop)
+        if not os.path.exists(path):
+            return None
+        try:
+            doc = self._read_shard_doc(path)
+            key = (doc.get("spec_hash"), doc.get("root_seed"),
+                   doc.get("start"), doc.get("stop"))
+            if key != (spec_hash, root_seed, start, stop):
+                raise StoreError(
+                    f"shard {path} is keyed {key}, not "
+                    f"{(spec_hash, root_seed, start, stop)}")
+        except StoreError:
+            if not heal:
+                raise
+            self._heal(path)
+            return None
+        return pickle.loads(doc["payload"])
 
     # -- write side ----------------------------------------------------
 
@@ -223,13 +292,16 @@ class RunStore:
             os.replace(tmp, spec_doc)
         path = self.shard_path(spec_hash, root_seed,
                                payload.start, payload.stop)
+        payload_bytes = pickle.dumps(payload,
+                                     protocol=pickle.HIGHEST_PROTOCOL)
         doc = {
             "format": STORE_FORMAT,
             "spec_hash": spec_hash,
             "root_seed": root_seed,
             "start": payload.start,
             "stop": payload.stop,
-            "payload": payload,
+            "sha256": hashlib.sha256(payload_bytes).hexdigest(),
+            "payload": payload_bytes,
         }
         buf = io.BytesIO()
         pickle.dump(doc, buf, protocol=pickle.HIGHEST_PROTOCOL)
@@ -321,13 +393,65 @@ class RunStore:
             seeds[seed] = ranges
         return {"spec_hash": spec_hash, "spec": spec_doc, "seeds": seeds}
 
+    def verify(self, spec_hash: Optional[str] = None) -> List[ShardVerdict]:
+        """Checksum every committed shard; one verdict per shard file.
+
+        Each ``shard-*.pkl`` is unpickled, format-checked, SHA-256
+        verified against its committed checksum, and key-checked
+        against its own path — without deserializing payloads into a
+        sweep.  ``spec_hash`` (full hash or unique prefix, like
+        :meth:`show`) narrows the walk to one spec tree.  Damage is
+        *reported*, never modified: pair with a healing resume (or
+        delete the file) to recover.
+        """
+        hashes = self._iter_spec_hashes()
+        if spec_hash is not None:
+            hashes = [h for h in hashes if h.startswith(spec_hash)]
+            if not hashes:
+                raise StoreError(f"no stored spec matches {spec_hash!r}")
+        verdicts: List[ShardVerdict] = []
+        for h in hashes:
+            spec_dir = self._spec_dir(h)
+            for seed_dir in sorted(os.listdir(spec_dir)):
+                if not seed_dir.startswith("seed-"):
+                    continue
+                seed = int(seed_dir[len("seed-"):])
+                full = os.path.join(spec_dir, seed_dir)
+                for shard in sorted(os.listdir(full)):
+                    if not (shard.startswith("shard-")
+                            and shard.endswith(".pkl")):
+                        continue
+                    path = os.path.join(full, shard)
+                    stem = shard[len("shard-"):-len(".pkl")]
+                    start, stop = (int(p) for p in stem.split("-"))
+                    try:
+                        doc = self._read_shard_doc(path)
+                        key = (doc.get("spec_hash"),
+                               doc.get("root_seed"),
+                               doc.get("start"), doc.get("stop"))
+                        if key != (h, seed, start, stop):
+                            raise StoreError(
+                                f"shard {path} is keyed {key}, not "
+                                f"{(h, seed, start, stop)}")
+                    except StoreError as exc:
+                        verdicts.append(ShardVerdict(
+                            path=path, spec_hash=h, ok=False,
+                            detail=str(exc)))
+                    else:
+                        verdicts.append(ShardVerdict(
+                            path=path, spec_hash=h, ok=True,
+                            detail=f"{stop - start} runs, "
+                                   f"sha256 {doc['sha256'][:12]}…"))
+        return verdicts
+
     def gc(self, keep: Optional[List[str]] = None,
            dry_run: bool = False) -> List[str]:
         """Sweep the store; returns the paths removed (or would-remove).
 
         Always removes orphaned ``.tmp`` files — a crashed writer's
-        partial output, never readable state.  When ``keep`` is given
-        (full hashes or unique prefixes), whole spec trees *not*
+        partial output — and quarantined ``.corrupt`` files left by
+        healing loads; neither is readable state.  When ``keep`` is
+        given (full hashes or unique prefixes), whole spec trees *not*
         matching any kept prefix are removed too; without ``keep``,
         committed data is never touched.
         """
@@ -352,7 +476,7 @@ class RunStore:
 
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for name in filenames:
-                if name.endswith(".tmp"):
+                if name.endswith((".tmp", ".corrupt")):
                     _rm(os.path.join(dirpath, name))
         if keep is not None:
             for spec_hash in self._iter_spec_hashes():

@@ -1,0 +1,157 @@
+"""Tests for the deterministic fault-injection plans (`repro.faults`).
+
+The plan layer itself must be boringly exact: validated vocabularies,
+frozen picklable values, attempt-coordinate lookup with optional
+spec-hash scoping, and file-corruption helpers whose damage is real
+(the file stops loading) but bounded (the file still exists).  The
+supervisor-side behavior of each fault kind is exercised end to end in
+tests/test_supervisor_chaos.py.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults import (CORRUPT_MODES, FAULT_KINDS, STORE_FAULT_KINDS,
+                          WORKER_FAULT_KINDS, FaultAction, FaultPlan,
+                          InjectedFault, corrupt_file,
+                          trigger_worker_fault)
+
+
+class TestFaultAction:
+    def test_vocabulary_is_partitioned(self):
+        assert set(WORKER_FAULT_KINDS) | set(STORE_FAULT_KINDS) \
+            == set(FAULT_KINDS)
+        assert not set(WORKER_FAULT_KINDS) & set(STORE_FAULT_KINDS)
+
+    def test_every_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            assert FaultAction(kind).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction("meteor")
+
+    def test_unknown_corrupt_mode_rejected(self):
+        with pytest.raises(ValueError, match="corruption mode"):
+            FaultAction("corrupt", mode="sandpaper")
+
+    def test_clean_exit_is_not_a_crash(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            FaultAction("crash", exitcode=0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match="seconds"):
+            FaultAction("hang", seconds=-1.0)
+
+    def test_actions_pickle(self):
+        action = FaultAction("corrupt", mode="bitflip")
+        assert pickle.loads(pickle.dumps(action)) == action
+
+
+class TestFaultPlan:
+    def test_build_and_get(self):
+        plan = FaultPlan.build({
+            (0, 0): FaultAction("crash"),
+            (1, 2): FaultAction("raise"),
+        })
+        assert len(plan) == 2
+        assert plan.get(0, 0).kind == "crash"
+        assert plan.get(1, 2).kind == "raise"
+        assert plan.get(0, 1) is None
+        assert plan.get(5, 0) is None
+
+    def test_worker_vs_store_action_split(self):
+        plan = FaultPlan.build({
+            (0, 0): FaultAction("crash"),
+            (1, 0): FaultAction("commit-fail"),
+        })
+        assert plan.worker_action(0, 0).kind == "crash"
+        assert plan.store_action(0, 0) is None
+        assert plan.worker_action(1, 0) is None
+        assert plan.store_action(1, 0).kind == "commit-fail"
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.build({(-1, 0): FaultAction("raise")})
+
+    def test_non_action_values_rejected(self):
+        with pytest.raises(TypeError, match="FaultAction"):
+            FaultPlan.build({(0, 0): "crash"})
+
+    def test_unscoped_plan_applies_everywhere(self):
+        plan = FaultPlan.build({(0, 0): FaultAction("raise")})
+        assert plan.applies_to(None)
+        assert plan.applies_to("abc123")
+
+    def test_scoped_plan_applies_only_to_its_hash(self):
+        plan = FaultPlan.build({(0, 0): FaultAction("raise")},
+                               spec_hash="abc123")
+        assert plan.applies_to("abc123")
+        assert not plan.applies_to("def456")
+        assert not plan.applies_to(None)
+
+    def test_plans_pickle_across_spawn_boundary(self):
+        plan = FaultPlan.build({(0, 0): FaultAction("hang", seconds=9)},
+                               spec_hash="abc")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert clone.get(0, 0).seconds == 9
+
+    def test_replay_is_exact(self):
+        # Same dict -> same entries tuple, regardless of insertion
+        # order: the plan is a value, not a schedule of side effects.
+        a = FaultPlan.build({(1, 0): FaultAction("raise"),
+                             (0, 0): FaultAction("crash")})
+        b = FaultPlan.build({(0, 0): FaultAction("crash"),
+                             (1, 0): FaultAction("raise")})
+        assert a == b
+
+
+class TestTriggerWorkerFault:
+    def test_raise_raises_injected_fault(self):
+        with pytest.raises(InjectedFault):
+            trigger_worker_fault(FaultAction("raise"))
+
+    def test_slow_returns_after_delay(self):
+        # seconds=0 keeps the test instant; the semantics under test is
+        # "slow returns normally" (vs crash/raise, which never do).
+        trigger_worker_fault(FaultAction("slow", seconds=0.0))
+
+    def test_store_kinds_are_not_worker_faults(self):
+        with pytest.raises(ValueError, match="worker-side"):
+            trigger_worker_fault(FaultAction("commit-fail"))
+
+
+class TestCorruptFile:
+    def _fresh(self, tmp_path, content=b"x" * 100):
+        path = tmp_path / "victim.bin"
+        path.write_bytes(content)
+        return str(path)
+
+    def test_truncate_halves_the_file(self, tmp_path):
+        path = self._fresh(tmp_path)
+        corrupt_file(path, "truncate")
+        import os
+        assert os.path.getsize(path) == 50
+
+    def test_bitflip_changes_exactly_one_byte(self, tmp_path):
+        original = bytes(range(100))
+        path = self._fresh(tmp_path, original)
+        corrupt_file(path, "bitflip")
+        damaged = open(path, "rb").read()
+        assert len(damaged) == len(original)
+        diff = [i for i in range(100) if damaged[i] != original[i]]
+        assert len(diff) == 1
+        i = diff[0]
+        assert damaged[i] == original[i] ^ 0x40
+
+    def test_every_documented_mode_works(self, tmp_path):
+        for mode in CORRUPT_MODES:
+            corrupt_file(self._fresh(tmp_path), mode)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="corruption mode"):
+            corrupt_file(self._fresh(tmp_path), "sandpaper")

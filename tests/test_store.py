@@ -240,6 +240,80 @@ class TestCrashSafetyAndGc:
             store.show("ffffffff")
 
 
+class TestSelfHealing:
+    """Format-2 checksums: damage is detected, quarantined, recomputed."""
+
+    def _damaged(self, tmp_path, mode="bitflip"):
+        from repro.faults import corrupt_file
+
+        store = RunStore(str(tmp_path / "store"))
+        stats, _, _ = sweep(tmp_path, "cold", store=store)
+        path = store.shard_path(stats.store.spec_hash, SEED, 0, SHARD)
+        corrupt_file(path, mode)
+        return store, stats.store.spec_hash, path
+
+    def test_checksum_catches_a_single_flipped_bit(self, tmp_path):
+        store, h, _ = self._damaged(tmp_path, "bitflip")
+        with pytest.raises(StoreError, match="checksum"):
+            store.load_shard(h, SEED, 0, SHARD)
+
+    def test_truncation_is_unreadable(self, tmp_path):
+        store, h, _ = self._damaged(tmp_path, "truncate")
+        with pytest.raises(StoreError, match="unreadable shard"):
+            store.load_shard(h, SEED, 0, SHARD)
+
+    def test_healing_load_quarantines_and_answers_none(self, tmp_path):
+        store, h, path = self._damaged(tmp_path)
+        assert store.load_shard(h, SEED, 0, SHARD, heal=True) is None
+        assert store.healed == [path]
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        # The quarantined file is gone from the address space: a
+        # fresh load sees a plain miss, not damage.
+        assert store.load_shard(h, SEED, 0, SHARD) is None
+
+    def test_healing_resume_is_bit_identical(self, tmp_path, baseline):
+        base_stats, base_journal, base_metrics = baseline
+        store, _, path = self._damaged(tmp_path)
+        stats, journal, metrics = sweep(tmp_path, "healed", store=store)
+        assert stats.runs == base_stats.runs
+        assert journal == base_journal
+        assert metrics == base_metrics
+        # Exactly the damaged shard re-executed; the rest came cached.
+        assert stats.store.misses == 1
+        assert stats.store.hits == N_RUNS // SHARD - 1
+        assert os.path.exists(path)  # recommitted whole
+
+    def test_verify_reports_damage_without_modifying(self, tmp_path):
+        store, h, path = self._damaged(tmp_path)
+        verdicts = store.verify()
+        assert len(verdicts) == N_RUNS // SHARD
+        bad = [v for v in verdicts if not v.ok]
+        assert [v.path for v in bad] == [path]
+        assert "checksum" in bad[0].detail
+        assert all(v.spec_hash == h for v in verdicts)
+        assert os.path.exists(path)  # verify never touches files
+        # Prefix filtering mirrors `show`.
+        assert store.verify(h[:10]) == verdicts
+        with pytest.raises(StoreError, match="no stored spec"):
+            store.verify("ffffffff")
+
+    def test_verify_clean_store_is_all_ok(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        sweep(tmp_path, "cold", store=store)
+        verdicts = store.verify()
+        assert len(verdicts) == N_RUNS // SHARD
+        assert all(v.ok for v in verdicts)
+        assert all("runs" in v.detail for v in verdicts)
+
+    def test_gc_sweeps_quarantined_corpses(self, tmp_path):
+        store, h, path = self._damaged(tmp_path)
+        store.load_shard(h, SEED, 0, SHARD, heal=True)
+        removed = store.gc()
+        assert removed == [path + ".corrupt"]
+        assert store.ls()[0].n_runs == N_RUNS - SHARD
+
+
 class TestStoreRefusals:
     def test_arbitrary_factories_refused_up_front(self, tmp_path):
         from repro.spec import SpecError

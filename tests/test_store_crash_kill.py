@@ -1,0 +1,149 @@
+"""Real-kill crash safety: SIGKILL a sweep mid-batch, resume, compare.
+
+The store's resume tests simulate interruption in-process (an
+exception raised from the ``on_commit`` hook).  This test is the real
+thing: a *separate* Python process runs a store-backed sweep with
+slowed-down commits, the test SIGKILLs it between shard commits —  no
+atexit, no finally, no flush — and then resumes the sweep in-process.
+The contract: everything committed before the kill is durable, the
+resume executes only the missing shards, and the merged result is
+bit-identical to an uninterrupted serial run (RunStats, metrics
+snapshot, journal bytes), with ``repro store verify`` clean.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.tasks import ConstantInputs, ProtocolSpec, SchedulerSpec
+from repro.sim.runner import ExperimentRunner
+from repro.store import RunStore
+
+N_RUNS = 60
+SHARD = 10
+MAX_STEPS = 2_000
+SEED = 7
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+#: The victim: a store-backed sweep whose commits are slowed so the
+#: parent can reliably land a SIGKILL between two of them.  It prints
+#: READY before sweeping so the parent knows imports are done, and
+#: DONE after — which a killed run must never reach.
+VICTIM = """\
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.tasks import ConstantInputs, ProtocolSpec, \\
+    SchedulerSpec
+from repro.sim.runner import ExperimentRunner
+from repro.store import RunStore
+
+store = RunStore({root!r})
+store.on_commit = lambda *args: time.sleep(0.5)
+runner = ExperimentRunner(
+    protocol_factory=ProtocolSpec("two", 2),
+    scheduler_factory=SchedulerSpec("random"),
+    inputs_factory=ConstantInputs(("a", "b")),
+    seed={seed},
+    sinks=(MetricsRegistry(),),
+)
+print("READY", flush=True)
+runner.run_many({n_runs}, max_steps={max_steps}, shard_size={shard},
+                store=store, journal_path={journal!r})
+print("DONE", flush=True)
+"""
+
+
+def _shard_files(root):
+    out = []
+    for dirpath, _dirs, files in os.walk(root):
+        out.extend(os.path.join(dirpath, f) for f in files
+                   if f.startswith("shard-") and f.endswith(".pkl"))
+    return out
+
+
+def _serial_truth(tmp_path):
+    journal = str(tmp_path / "serial.jsonl")
+    registry = MetricsRegistry()
+    runner = ExperimentRunner(
+        protocol_factory=ProtocolSpec("two", 2),
+        scheduler_factory=SchedulerSpec("random"),
+        inputs_factory=ConstantInputs(("a", "b")),
+        seed=SEED,
+        sinks=(registry,),
+    )
+    stats = runner.run_many(N_RUNS, max_steps=MAX_STEPS,
+                            journal_path=journal)
+    with open(journal, "rb") as fh:
+        return stats.runs, registry.to_dict(), fh.read()
+
+
+@pytest.mark.skipif(os.name != "posix", reason="SIGKILL is POSIX-only")
+def test_sigkilled_sweep_resumes_bit_identical(tmp_path):
+    root = str(tmp_path / "store")
+    victim = tmp_path / "victim.py"
+    victim.write_text(VICTIM.format(
+        src=SRC, root=root, seed=SEED, n_runs=N_RUNS,
+        max_steps=MAX_STEPS, shard=SHARD,
+        journal=str(tmp_path / "victim.jsonl")))
+
+    proc = subprocess.Popen([sys.executable, str(victim)],
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    try:
+        # Kill after at least two shards are durably committed but
+        # (thanks to the slowed commits) long before all six are.
+        deadline = time.monotonic() + 60
+        while len(_shard_files(root)) < 2:
+            if time.monotonic() > deadline:  # pragma: no cover
+                pytest.fail("victim never committed two shards: "
+                            + proc.communicate(timeout=5)[1])
+            if proc.poll() is not None:  # pragma: no cover
+                pytest.fail("victim exited early: "
+                            + proc.communicate(timeout=5)[1])
+            time.sleep(0.02)
+        proc.send_signal(signal.SIGKILL)
+        out, _err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover
+            proc.kill()
+            proc.communicate(timeout=30)
+
+    assert proc.returncode == -signal.SIGKILL
+    assert "DONE" not in out, "the kill must interrupt the sweep"
+    committed = len(_shard_files(root))
+    assert 2 <= committed < N_RUNS // SHARD
+
+    # Resume in-process with the same parameters; only the missing
+    # shards execute, and every artifact matches the serial truth.
+    base_runs, base_metrics, base_journal = _serial_truth(tmp_path)
+    store = RunStore(root)
+    registry = MetricsRegistry()
+    runner = ExperimentRunner(
+        protocol_factory=ProtocolSpec("two", 2),
+        scheduler_factory=SchedulerSpec("random"),
+        inputs_factory=ConstantInputs(("a", "b")),
+        seed=SEED,
+        sinks=(registry,),
+    )
+    journal = str(tmp_path / "resumed.jsonl")
+    stats = runner.run_many(N_RUNS, max_steps=MAX_STEPS,
+                            shard_size=SHARD, store=store,
+                            journal_path=journal)
+    assert stats.store.hits == committed
+    assert stats.store.misses == N_RUNS // SHARD - committed
+    assert stats.runs == base_runs
+    assert registry.to_dict() == base_metrics
+    with open(journal, "rb") as fh:
+        assert fh.read() == base_journal
+    assert all(v.ok for v in store.verify())
+    assert len(store.verify()) == N_RUNS // SHARD
